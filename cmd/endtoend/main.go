@@ -1,0 +1,67 @@
+// Command endtoend regenerates the paper's end-to-end evaluation: Table 1
+// (tolerable RBER per ECC strength), Figures 11-12 (profiling time fraction
+// and profiling power), and Figure 13 (system performance and DRAM power
+// across refresh intervals for brute-force, REAPER, and ideal profiling).
+//
+// Usage:
+//
+//	endtoend [-part table1|fig11|fig13|all] [-quick] [-cadence paper|longevity]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"reaper/internal/ecc"
+	"reaper/internal/experiments"
+)
+
+func main() {
+	part := flag.String("part", "all", "which result to produce: table1, fig11, fig13, all")
+	quick := flag.Bool("quick", false, "reduced mix count and simulation length")
+	cadence := flag.String("cadence", "paper", "fig13 profiling cadence model: paper | longevity")
+	seed := flag.Uint64("seed", 13, "experiment seed")
+	flag.Parse()
+
+	doTable1 := *part == "all" || *part == "table1"
+	doFig11 := *part == "all" || *part == "fig11" || *part == "fig12" // one harness covers both
+	doFig13 := *part == "all" || *part == "fig13"
+	if !doTable1 && !doFig11 && !doFig13 {
+		log.Fatalf("unknown -part %q", *part)
+	}
+
+	if doTable1 {
+		rows := experiments.Table1TolerableRBER(ecc.UBERConsumer)
+		experiments.Table1Render(rows).Render(os.Stdout)
+	}
+	if doFig11 {
+		rows, err := experiments.Fig11Fig12ProfilingOverhead(experiments.DefaultFig11Config())
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.Fig11Table(rows).Render(os.Stdout)
+	}
+	if doFig13 {
+		cfg := experiments.DefaultFig13Config()
+		cfg.Seed = *seed
+		switch *cadence {
+		case "paper":
+			cfg.Cadence = experiments.CadencePaperImplied
+		case "longevity":
+			cfg.Cadence = experiments.CadenceLongevity
+		default:
+			log.Fatalf("unknown -cadence %q", *cadence)
+		}
+		if *quick {
+			cfg.Mixes = 6
+			cfg.InstructionsPerCore = 400_000
+			cfg.ChipGbs = []int{64}
+		}
+		cells, err := experiments.Fig13EndToEnd(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.Fig13Table(cells).Render(os.Stdout)
+	}
+}

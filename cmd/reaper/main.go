@@ -1,0 +1,122 @@
+// Command reaper profiles a simulated LPDDR4 chip for retention failures
+// with either brute-force profiling (the paper's Algorithm 1) or reach
+// profiling (the paper's contribution), reporting coverage, false positive
+// rate, runtime, and the implied profile longevity under SECDED ECC.
+//
+// Usage:
+//
+//	reaper [-capacity-mbit N] [-vendor A|B|C] [-seed S]
+//	       [-target ms] [-reach-interval ms] [-reach-temp C]
+//	       [-iterations N] [-chamber]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"reaper"
+	"reaper/internal/ecc"
+	"reaper/internal/longevity"
+)
+
+func main() {
+	capacityMbit := flag.Int64("capacity-mbit", 256, "chip capacity in Mbit")
+	vendorName := flag.String("vendor", "B", "vendor profile: A, B or C")
+	seed := flag.Uint64("seed", 1, "chip seed (reproducible experiments)")
+	targetMs := flag.Float64("target", 1024, "target refresh interval, ms")
+	reachMs := flag.Float64("reach-interval", 500, "reach delta interval, ms (0 = brute force)")
+	reachTemp := flag.Float64("reach-temp", 0, "reach delta temperature, °C")
+	iterations := flag.Int("iterations", 16, "profiling iterations")
+	chamber := flag.Bool("chamber", false, "simulate the PID thermal chamber")
+	chips := flag.Int("chips", 1, "number of chips (>1 profiles a multi-chip module)")
+	flag.Parse()
+
+	var vendor reaper.VendorParams
+	switch *vendorName {
+	case "A":
+		vendor = reaper.VendorA()
+	case "B":
+		vendor = reaper.VendorB()
+	case "C":
+		vendor = reaper.VendorC()
+	default:
+		log.Fatalf("unknown vendor %q", *vendorName)
+	}
+
+	cfg := reaper.ChipConfig{
+		CapacityBits:       *capacityMbit << 20,
+		Vendor:             vendor,
+		Seed:               *seed,
+		WithThermalChamber: *chamber,
+	}
+	var st reaper.TestStation
+	var truthAt func(interval, tempC float64) *reaper.FailureSet
+	if *chips > 1 {
+		mod, err := reaper.NewModule(*chips, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("module: %d chips x %v, vendor %s\n",
+			mod.Chips(), mod.Device(0).Geometry(), vendor.Name)
+		st = mod
+		truthAt = mod.Truth
+	} else {
+		station, err := reaper.NewStation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chip: %v, vendor %s, %d modelled weak cells\n",
+			station.Device().Geometry(), vendor.Name, station.Device().WeakCellCount())
+		st = station
+		truthAt = func(interval, tempC float64) *reaper.FailureSet {
+			return reaper.Truth(station, interval, tempC)
+		}
+	}
+
+	target := *targetMs / 1000
+	reach := reaper.ReachConditions{
+		DeltaInterval: *reachMs / 1000,
+		DeltaTempC:    *reachTemp,
+	}
+	mode := "reach profiling"
+	if reach.DeltaInterval == 0 && reach.DeltaTempC == 0 {
+		mode = "brute-force profiling"
+	}
+	fmt.Printf("%s: target %.0fms @ %.0f°C, profiling at %.0fms @ %.0f°C, %d iterations\n",
+		mode, target*1000, st.Ambient(),
+		(target+reach.DeltaInterval)*1000, st.Ambient()+reach.DeltaTempC, *iterations)
+
+	res, err := reaper.Profile(st, target, reach,
+		reaper.Options{Iterations: *iterations, FreshRandomPerIteration: true, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := truthAt(target, reaper.RefTempC)
+	cov := reaper.Coverage(res.Failures, truth)
+	fpr := reaper.FalsePositiveRate(res.Failures, truth)
+	fmt.Printf("found %d failing cells (ground truth %d): coverage %.4f, FPR %.3f\n",
+		res.Failures.Len(), truth.Len(), cov, fpr)
+	fmt.Printf("profiling runtime: %.1f simulated seconds (%.1f%% waits, %.1f%% data passes)\n",
+		res.RuntimeSeconds(),
+		res.Stats.WaitSeconds/res.RuntimeSeconds()*100,
+		(res.Stats.WriteSeconds+res.Stats.ReadSeconds)/res.RuntimeSeconds()*100)
+
+	// Profile longevity under SECDED at the consumer UBER target,
+	// projected onto a production-scale 2GB module (the simulated chip is
+	// a scale model; Equation 7 is capacity-invariant at full coverage
+	// but the coverage feasibility threshold is not).
+	m := longevity.Model{
+		Code:       ecc.SECDED(),
+		TargetUBER: ecc.UBERConsumer,
+		Bytes:      2 << 30,
+		Vendor:     vendor,
+		TempC:      reaper.RefTempC,
+	}
+	if d, err := m.Longevity(target, cov); err != nil {
+		fmt.Printf("projected 2GB-module profile longevity: %v\n", err)
+		fmt.Println("hint: raise coverage with a larger -reach-interval, -reach-temp, or -iterations")
+	} else {
+		fmt.Printf("projected 2GB-module profile longevity (SECDED, UBER 1e-15): %.1f hours before reprofiling\n", d.Hours())
+	}
+}

@@ -1,0 +1,51 @@
+// Command tradeoff regenerates the paper's reach-condition tradeoff
+// analysis (Figures 9 and 10): a grid of (Δ refresh interval,
+// Δ temperature) reach conditions scored for coverage, false positive rate,
+// and profiling runtime relative to brute force.
+//
+// Usage:
+//
+//	tradeoff [-target ms] [-quick] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"reaper/internal/experiments"
+)
+
+func main() {
+	targetMs := flag.Float64("target", 1024, "target refresh interval in milliseconds")
+	quick := flag.Bool("quick", false, "smaller grid and iteration counts")
+	seed := flag.Uint64("seed", 9, "experiment seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig9Config()
+	cfg.TargetInterval = *targetMs / 1000
+	cfg.Seed = *seed
+	cfg.Chip.Seed = *seed
+	if *quick {
+		cfg.DeltaIntervals = []float64{0, 0.25, 0.5}
+		cfg.DeltaTemps = []float64{0, 5}
+		cfg.Iterations = 8
+		cfg.MaxIterations = 32
+	}
+	points, err := experiments.Fig9Fig10Tradeoff(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.Fig9Table(points).Render(os.Stdout)
+
+	h, err := experiments.Headline(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("headline (paper Section 6.1.2): at +250ms reach, coverage %.4f, FPR %.3f, speedup %.2fx\n",
+		h.Coverage, h.FalsePositiveRate, h.Speedup)
+	fmt.Printf("most aggressive grid point: speedup %.2fx at FPR %.3f\n",
+		h.AggressiveSpeedup, h.AggressiveFPR)
+	fmt.Println("(paper: 2.5x at 99% coverage and <50% FPR; up to 3.5x at >75% FPR)")
+}

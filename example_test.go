@@ -1,0 +1,70 @@
+package reaper_test
+
+import (
+	"fmt"
+
+	"reaper"
+)
+
+// ExampleProfile shows the core REAPER flow: build a simulated chip,
+// reach-profile it above the target conditions, and score the result
+// against the simulator's ground truth.
+func ExampleProfile() {
+	st, err := reaper.NewStation(reaper.ChipConfig{
+		CapacityBits: 64 << 20,
+		Vendor:       reaper.VendorB(),
+		Seed:         7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	const target = 1.024 // seconds
+	res, err := reaper.Profile(st, target,
+		reaper.ReachConditions{DeltaInterval: 0.25},
+		reaper.Options{Iterations: 8, FreshRandomPerIteration: true})
+	if err != nil {
+		panic(err)
+	}
+	truth := reaper.Truth(st, target, reaper.RefTempC)
+	fmt.Printf("coverage >= 0.90: %v\n", reaper.Coverage(res.Failures, truth) >= 0.90)
+	fmt.Printf("false positives exist: %v\n", reaper.FalsePositiveRate(res.Failures, truth) > 0)
+	// Output:
+	// coverage >= 0.90: true
+	// false positives exist: true
+}
+
+// ExampleECCCode shows the Table 1 arithmetic: how many failing cells an
+// ECC strength tolerates at a target reliability.
+func ExampleECCCode() {
+	secded := reaper.SECDED()
+	errors := secded.TolerableBitErrors(reaper.UBERConsumer, 2<<30)
+	fmt.Printf("SECDED at 2GB tolerates tens of failing cells: %v\n", errors > 40 && errors < 130)
+	// Output:
+	// SECDED at 2GB tolerates tens of failing cells: true
+}
+
+// ExampleBruteForce contrasts the Algorithm 1 baseline with reach
+// profiling on identically seeded chips.
+func ExampleBruteForce() {
+	mk := func() *reaper.Station {
+		st, err := reaper.NewStation(reaper.ChipConfig{CapacityBits: 64 << 20, Seed: 11})
+		if err != nil {
+			panic(err)
+		}
+		return st
+	}
+	opt := reaper.Options{Iterations: 8, FreshRandomPerIteration: true}
+	const target = 1.024
+
+	stA := mk()
+	truth := reaper.Truth(stA, target, reaper.RefTempC)
+	brute, _ := reaper.BruteForce(stA, target, opt)
+
+	stB := mk()
+	rp, _ := reaper.Profile(stB, target, reaper.ReachConditions{DeltaInterval: 0.25}, opt)
+
+	fmt.Printf("reach finds more of the truth: %v\n",
+		reaper.Coverage(rp.Failures, truth) > reaper.Coverage(brute.Failures, truth))
+	// Output:
+	// reach finds more of the truth: true
+}

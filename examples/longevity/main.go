@@ -1,0 +1,84 @@
+// Profile longevity planning (paper Sections 6.2.2-6.2.3): given an ECC
+// strength and a target UBER, how many failing cells can escape profiling,
+// and how long does a profile stay valid before VRT accumulation forces a
+// reprofile? Reproduces the paper's Table 1 and its worked example
+// (2GB + SECDED + 1024ms @ 45°C + 99% coverage ==> ~2.3 days).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reaper"
+	"reaper/internal/ecc"
+	"reaper/internal/longevity"
+)
+
+func main() {
+	// Table 1: tolerable RBER and tolerable bit-error counts.
+	fmt.Println("Table 1 (UBER target 1e-15):")
+	fmt.Printf("  %-8s %14s %10s %10s %10s %10s %10s\n",
+		"code", "tolerable RBER", "512MB", "1GB", "2GB", "4GB", "8GB")
+	sizes := []int64{512 << 20, 1 << 30, 2 << 30, 4 << 30, 8 << 30}
+	for _, code := range []reaper.ECCCode{reaper.NoECC(), reaper.SECDED(), reaper.ECC2()} {
+		fmt.Printf("  %-8s %14.2e", code.Name, code.TolerableRBER(reaper.UBERConsumer))
+		for _, sz := range sizes {
+			fmt.Printf(" %10.3g", code.TolerableBitErrors(reaper.UBERConsumer, sz))
+		}
+		fmt.Println()
+	}
+
+	// The paper's worked example.
+	m := longevity.Model{
+		Code:       ecc.SECDED(),
+		TargetUBER: ecc.UBERConsumer,
+		Bytes:      2 << 30,
+		Vendor:     reaper.VendorB(),
+		TempC:      45,
+	}
+	const target = 1.024
+	fmt.Printf("\nworked example (2GB, SECDED, %dms @ 45°C):\n", int(target*1000))
+	fmt.Printf("  expected failing cells:         %.0f (paper: 2464)\n", m.ExpectedFailures(target))
+	fmt.Printf("  accumulation rate A:            %.2f cells/hour (paper: 0.73)\n", m.AccumulationRate(target))
+	fmt.Printf("  minimum viable coverage:        %.4f\n", m.MinimumCoverage(target))
+
+	if d, err := m.LongevityWithBudget(target, 0.99, 65); err == nil {
+		fmt.Printf("  longevity @99%% cov, paper N=65: %.1f days (paper: ~2.3)\n", d.Hours()/24)
+	}
+	if d, err := m.Longevity(target, 0.99); err == nil {
+		fmt.Printf("  longevity @99%% cov, exact Eq 6: %.1f days\n", d.Hours()/24)
+	}
+
+	// Planning sweep: how often must the system reprofile across target
+	// intervals and coverages?
+	fmt.Println("\nreprofiling cadence (exact Eq 6 budget, hours between rounds):")
+	fmt.Printf("  %8s", "interval")
+	coverages := []float64{1.0, 0.999, 0.99}
+	for _, c := range coverages {
+		fmt.Printf(" %12s", fmt.Sprintf("cov=%.3f", c))
+	}
+	fmt.Println()
+	for _, t := range []float64{0.512, 0.768, 1.024, 1.280, 1.536} {
+		fmt.Printf("  %6.0fms", t*1000)
+		for _, c := range coverages {
+			d, err := m.Longevity(t, c)
+			if err != nil {
+				fmt.Printf(" %12s", "infeasible")
+				continue
+			}
+			fmt.Printf(" %12.1f", d.Hours())
+		}
+		fmt.Println()
+	}
+
+	// What the cadence costs: fraction of system time spent profiling if
+	// each round is a full brute-force pass (Equation 9) vs REAPER.
+	fmt.Println("\nprofiling time fraction at the implied cadence (2GB, 16 iters x 6 patterns):")
+	for _, t := range []float64{1.024, 1.280, 1.536} {
+		d, err := m.Longevity(t, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %6.0fms: reprofile every %6.1fh\n", t*1000, d.Hours())
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: profile a simulated LPDDR4 chip with brute force (the paper's
+// Algorithm 1) and with reach profiling (the paper's contribution), and
+// compare the three metrics that matter: coverage, false positive rate, and
+// profiling runtime.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reaper"
+)
+
+func main() {
+	const (
+		target = 1.024 // target refresh interval, seconds
+		seed   = 42
+	)
+
+	fresh := func() *reaper.Station {
+		st, err := reaper.NewStation(reaper.ChipConfig{
+			CapacityBits: 256 << 20, // 256 Mbit scale-model chip
+			Vendor:       reaper.VendorB(),
+			Seed:         seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
+	st := fresh()
+	fmt.Printf("chip: %v, %d modelled weak cells, vendor %s\n",
+		st.Device().Geometry(), st.Device().WeakCellCount(), st.Device().Vendor().Name)
+
+	// Ground truth at the target conditions (only the simulator knows it).
+	truth := reaper.Truth(st, target, reaper.RefTempC)
+	fmt.Printf("ground truth at %.0fms/45°C: %d failing cells\n\n", target*1000, truth.Len())
+
+	opt := reaper.Options{Iterations: 16, FreshRandomPerIteration: true}
+
+	// Baseline: brute-force profiling at the target interval.
+	brute, err := reaper.BruteForce(st, target, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("brute force @ target", brute, truth)
+
+	// Reach profiling: +250 ms above the target (the paper's headline
+	// configuration).
+	st2 := fresh()
+	reach, err := reaper.Profile(st2, target, reaper.ReachConditions{DeltaInterval: 0.25}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("reach      @ +250ms", reach, truth)
+
+	// Reach profiling via temperature instead (+5°C, same effect per
+	// Section 5.5 of the paper).
+	st3 := fresh()
+	hot, err := reaper.Profile(st3, target, reaper.ReachConditions{DeltaTempC: 5}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("reach      @ +5°C  ", hot, truth)
+}
+
+func report(name string, r *reaper.Result, truth *reaper.FailureSet) {
+	fmt.Printf("%s: found %4d cells  coverage %.4f  false-positive rate %.3f  runtime %7.1fs (simulated)\n",
+		name, r.Failures.Len(),
+		reaper.Coverage(r.Failures, truth),
+		reaper.FalsePositiveRate(r.Failures, truth),
+		r.RuntimeSeconds())
+}

@@ -1,0 +1,84 @@
+// SPD-driven reach planning (paper Section 6.3): characterize a chip the
+// way a vendor would, serialize the result as the SPD payload, and let a
+// system integrator load it and plan reach conditions under its own
+// constraints — without ever re-characterizing the chip.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"reaper"
+	"reaper/internal/core"
+	"reaper/internal/memctrl"
+	"reaper/internal/spd"
+)
+
+func mkStation() (*memctrl.Station, error) {
+	return reaper.NewStation(reaper.ChipConfig{
+		CapacityBits: 64 << 20,
+		Vendor:       reaper.VendorB(),
+		Seed:         2024,
+	})
+}
+
+func main() {
+	// --- Vendor side: characterize the chip and write the SPD payload.
+	fmt.Println("characterizing chip (vendor side) ...")
+	c, err := spd.Characterize(mkStation, spd.DefaultCharacterizeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var payload bytes.Buffer
+	if err := c.Save(&payload); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SPD payload (%d bytes of JSON):\n", payload.Len())
+	fmt.Printf("  vendor %s: BER(t) = %.3g*(t/1.024s)^%.2f, temp coeff %.3f/°C, %d tradeoff samples\n\n",
+		c.Vendor, c.BERAnchor, c.BERExponent, c.TempCoeff, len(c.Samples))
+
+	// --- System side: load the payload and plan under three different
+	// system constraint sets.
+	loaded, err := spd.Load(bytes.NewReader(payload.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	scenarios := []struct {
+		name string
+		con  spd.Constraints
+	}{
+		{"row map-out (FPR intolerant)", spd.Constraints{MinCoverage: 0.95, MaxFalsePositiveRate: 0.25, MaxDeltaTempC: 0}},
+		{"cell remap (FPR tolerant)", spd.Constraints{MinCoverage: 0.98, MaxFalsePositiveRate: 0.70, MaxDeltaTempC: 0}},
+		{"thermally controllable system", spd.Constraints{MinCoverage: 0.98, MaxFalsePositiveRate: 0.70, MaxDeltaTempC: 10}},
+	}
+	for _, s := range scenarios {
+		reach, sample, err := loaded.PlanReach(s.con)
+		if err != nil {
+			fmt.Printf("%-32s: %v\n", s.name, err)
+			continue
+		}
+		fmt.Printf("%-32s: profile at +%.0fms/+%.1f°C (promises coverage %.3f, FPR %.2f, runtime %.2fx of brute force)\n",
+			s.name, reach.DeltaInterval*1000, reach.DeltaTempC,
+			sample.Coverage, sample.FalsePositiveRate, sample.RuntimeRel)
+	}
+
+	// --- Validate one plan against ground truth on a fresh chip.
+	reach, _, err := loaded.PlanReach(spd.Constraints{
+		MinCoverage: 0.98, MaxFalsePositiveRate: 0.70, MaxDeltaTempC: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := mkStation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Reach(st, loaded.ReferenceInterval, reach,
+		core.Options{Iterations: 8, FreshRandomPerIteration: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := core.Truth(st, loaded.ReferenceInterval, reaper.RefTempC)
+	fmt.Printf("\nvalidation at planned conditions: coverage %.4f, FPR %.3f vs ground truth\n",
+		core.Coverage(res.Failures, truth), core.FalsePositiveRate(res.Failures, truth))
+}

@@ -1,0 +1,3 @@
+module reaper
+
+go 1.22

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"reaper/internal/memctrl"
+	"reaper/internal/patterns"
+)
+
+func TestRefreshRandomsReplacesOnlyRandoms(t *testing.T) {
+	ps := []patterns.Pattern{
+		patterns.Solid0(),
+		patterns.Random(1),
+		patterns.Invert(patterns.Random(1)),
+		patterns.Checkerboard(),
+	}
+	out1 := refreshRandoms(ps, 9, 1)
+	out2 := refreshRandoms(ps, 9, 2)
+	// Fixed patterns are passed through untouched.
+	if out1[0] != ps[0] || out1[3] != ps[3] {
+		t.Error("fixed patterns were replaced")
+	}
+	// Random patterns change between iterations.
+	if out1[1].Word(0, 0) == out2[1].Word(0, 0) &&
+		out1[1].Word(1, 1) == out2[1].Word(1, 1) {
+		t.Error("random pattern did not refresh across iterations")
+	}
+	// The inverted random stays the inverse of nothing in particular but
+	// must still be an inverted random (name check).
+	if name := out1[2].Name(); len(name) < 7 || name[:7] != "~random" {
+		t.Errorf("inverted random renamed to %q", name)
+	}
+	// Same (seed, iteration) is reproducible.
+	again := refreshRandoms(ps, 9, 1)
+	if again[1].Word(3, 4) != out1[1].Word(3, 4) {
+		t.Error("refreshRandoms not deterministic")
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.Iterations != 16 {
+		t.Errorf("default iterations = %d, want 16", o.Iterations)
+	}
+	if len(o.Patterns) != 12 {
+		t.Errorf("default patterns = %d, want 12", len(o.Patterns))
+	}
+	// Explicit values are preserved.
+	o2 := Options{Iterations: 3, Patterns: []patterns.Pattern{patterns.Solid0()}}
+	o2.fill()
+	if o2.Iterations != 3 || len(o2.Patterns) != 1 {
+		t.Error("fill overwrote explicit options")
+	}
+}
+
+func TestDiffStats(t *testing.T) {
+	after := memStats(10, 20, 30, 40, 5, 6, 700, 800)
+	before := memStats(1, 2, 3, 4, 1, 1, 100, 100)
+	d := diffStats(after, before)
+	if d.WriteSeconds != 9 || d.ReadSeconds != 18 || d.WaitSeconds != 27 ||
+		d.IdleSeconds != 36 || d.WritePasses != 4 || d.ReadPasses != 5 ||
+		d.BytesWritten != 600 || d.BytesRead != 700 {
+		t.Errorf("diffStats wrong: %+v", d)
+	}
+}
+
+// memStats builds a memctrl.Stats for diff tests.
+func memStats(w, r, wait, idle float64, wp, rp int, bw, br int64) (s memctrl.Stats) {
+	s.WriteSeconds, s.ReadSeconds, s.WaitSeconds, s.IdleSeconds = w, r, wait, idle
+	s.WritePasses, s.ReadPasses = wp, rp
+	s.BytesWritten, s.BytesRead = bw, br
+	return s
+}

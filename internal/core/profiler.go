@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"reaper/internal/dram"
+	"reaper/internal/memctrl"
+	"reaper/internal/patterns"
+)
+
+// TestStation is the hardware interface profiling needs: the SoftMC-style
+// write-pattern / refresh-control / wait / read-compare operations plus
+// time accounting and temperature control. memctrl.Station implements it
+// for one chip; module.Module implements it for a multi-chip module.
+type TestStation interface {
+	WritePattern(p dram.RowData)
+	DisableRefresh()
+	EnableRefresh()
+	Wait(seconds float64)
+	ReadCompare() []uint64
+	Clock() float64
+	Stats() memctrl.Stats
+	Ambient() float64
+	SetAmbient(tempC float64) float64
+}
+
+// memctrl.Station must satisfy TestStation.
+var _ TestStation = (*memctrl.Station)(nil)
+
+// Options configures a profiling run (both brute-force and reach).
+type Options struct {
+	// Patterns are the data patterns tested each iteration. Nil selects
+	// the standard six patterns and their inverses (Section 3.2).
+	Patterns []patterns.Pattern
+
+	// Iterations is the number of testing rounds (Algorithm 1's
+	// num_iterations). The paper's tradeoff analysis uses 16. Defaults to
+	// 16 when zero.
+	Iterations int
+
+	// FreshRandomPerIteration re-seeds the random pattern(s) every
+	// iteration so each round explores new neighbourhood data, as the
+	// paper's methodology does. Only patterns created by
+	// patterns.Random are affected.
+	FreshRandomPerIteration bool
+
+	// Seed drives the fresh random patterns.
+	Seed uint64
+
+	// OnIteration, if non-nil, is invoked after each iteration with the
+	// cumulative result so far; returning false stops profiling early.
+	// Used by the tradeoff explorer to stop at a coverage goal.
+	OnIteration func(r *Result) bool
+}
+
+func (o *Options) fill() {
+	if o.Iterations == 0 {
+		o.Iterations = 16
+	}
+	if len(o.Patterns) == 0 {
+		o.Patterns = patterns.StandardWithInverses(o.Seed)
+	}
+}
+
+// IterationRecord summarizes one pass of one data pattern during profiling.
+type IterationRecord struct {
+	Iteration   int
+	PatternName string
+	// Failures is the number of cells that failed this pass.
+	Failures int
+	// NewFailures is how many of them had not been seen before in this run.
+	NewFailures int
+	// ClockSeconds is the simulated time at the end of the pass.
+	ClockSeconds float64
+}
+
+// Result is the outcome of a profiling run.
+type Result struct {
+	// Failures is the cumulative set of failing cells discovered.
+	Failures *FailureSet
+	// Records holds one entry per (iteration, pattern) pass.
+	Records []IterationRecord
+	// Stats is the simulated-time accounting for the run (Equation 9's
+	// terms come out of it).
+	Stats memctrl.Stats
+	// ProfilingInterval and ProfilingTempC are the conditions profiling
+	// actually ran at (for reach profiling these exceed the target).
+	ProfilingInterval float64
+	ProfilingTempC    float64
+	// Iterations actually executed (may be less than requested when
+	// OnIteration stopped the run).
+	Iterations int
+}
+
+// RuntimeSeconds returns the total simulated time the run consumed.
+func (r *Result) RuntimeSeconds() float64 { return r.Stats.Total() }
+
+// BruteForce runs the paper's Algorithm 1 on the station: for each
+// iteration and each data pattern, write the pattern everywhere, disable
+// refresh, wait for tREFI, re-enable refresh, and collect the failures.
+// tREFI is in seconds.
+func BruteForce(st TestStation, tREFI float64, opt Options) (*Result, error) {
+	if st == nil {
+		return nil, fmt.Errorf("core: nil station")
+	}
+	if tREFI <= 0 {
+		return nil, fmt.Errorf("core: non-positive profiling interval %v", tREFI)
+	}
+	opt.fill()
+
+	res := &Result{
+		Failures:          NewFailureSet(),
+		ProfilingInterval: tREFI,
+		ProfilingTempC:    st.Ambient(),
+	}
+	before := st.Stats()
+
+	for it := 1; it <= opt.Iterations; it++ {
+		ps := opt.Patterns
+		if opt.FreshRandomPerIteration {
+			ps = refreshRandoms(ps, opt.Seed, it)
+		}
+		for _, p := range ps {
+			st.WritePattern(p)
+			st.DisableRefresh()
+			st.Wait(tREFI)
+			st.EnableRefresh()
+			fails := st.ReadCompare()
+			added := res.Failures.AddAll(fails)
+			res.Records = append(res.Records, IterationRecord{
+				Iteration:    it,
+				PatternName:  p.Name(),
+				Failures:     len(fails),
+				NewFailures:  added,
+				ClockSeconds: st.Clock(),
+			})
+		}
+		res.Iterations = it
+		if opt.OnIteration != nil && !opt.OnIteration(res) {
+			break
+		}
+	}
+	res.Stats = diffStats(st.Stats(), before)
+	return res, nil
+}
+
+// refreshRandoms replaces every random pattern (and inverted random) with a
+// freshly seeded one, leaving the fixed patterns intact.
+func refreshRandoms(ps []patterns.Pattern, seed uint64, iteration int) []patterns.Pattern {
+	out := make([]patterns.Pattern, len(ps))
+	for i, p := range ps {
+		name := p.Name()
+		fresh := seed ^ uint64(iteration)*0x9e3779b97f4a7c15 ^ uint64(i)
+		switch {
+		case len(name) >= 6 && name[:6] == "random":
+			out[i] = patterns.Random(fresh)
+		case len(name) >= 7 && name[:7] == "~random":
+			out[i] = patterns.Invert(patterns.Random(fresh))
+		default:
+			out[i] = p
+		}
+	}
+	return out
+}
+
+func diffStats(after, before memctrl.Stats) memctrl.Stats {
+	return memctrl.Stats{
+		WriteSeconds: after.WriteSeconds - before.WriteSeconds,
+		ReadSeconds:  after.ReadSeconds - before.ReadSeconds,
+		WaitSeconds:  after.WaitSeconds - before.WaitSeconds,
+		IdleSeconds:  after.IdleSeconds - before.IdleSeconds,
+		WritePasses:  after.WritePasses - before.WritePasses,
+		ReadPasses:   after.ReadPasses - before.ReadPasses,
+		BytesWritten: after.BytesWritten - before.BytesWritten,
+		BytesRead:    after.BytesRead - before.BytesRead,
+	}
+}
+
+// ReachConditions specify how far profiling conditions exceed the target
+// conditions (the paper's Δ refresh interval and Δ temperature axes of
+// Figures 9 and 10).
+type ReachConditions struct {
+	// DeltaInterval is added to the target refresh interval, in seconds.
+	DeltaInterval float64
+	// DeltaTempC is added to the target ambient temperature, in °C.
+	DeltaTempC float64
+}
+
+// Reach runs reach profiling: it raises the station's ambient temperature by
+// reach.DeltaTempC, profiles at target interval + reach.DeltaInterval using
+// Algorithm 1, and restores the original ambient afterwards. With zero reach
+// deltas it degenerates to brute-force profiling at the target conditions.
+func Reach(st TestStation, targetInterval float64, reach ReachConditions, opt Options) (*Result, error) {
+	if reach.DeltaInterval < 0 || reach.DeltaTempC < 0 {
+		return nil, fmt.Errorf("core: reach deltas must be non-negative, got %+v", reach)
+	}
+	orig := st.Ambient()
+	if reach.DeltaTempC > 0 {
+		st.SetAmbient(orig + reach.DeltaTempC)
+	}
+	res, err := BruteForce(st, targetInterval+reach.DeltaInterval, opt)
+	if reach.DeltaTempC > 0 {
+		st.SetAmbient(orig)
+	}
+	return res, err
+}
+
+// Truth queries the station's device oracle for the ground-truth failing set
+// at the given target conditions, evaluated at the station's current
+// simulated time. This is only possible on the simulator — it is how
+// profiler quality is scored.
+func Truth(st *memctrl.Station, targetInterval, targetTempC float64) *FailureSet {
+	bits := st.Device().TrueFailingSet(targetInterval, targetTempC, st.Clock(), dram.OracleThreshold)
+	return FromBits(bits)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Profile persistence: mitigation mechanisms store the failing-cell set
+// (ArchShield keeps its FaultMap in a reserved DRAM region; a host OS would
+// keep it on disk across reboots). The format is a compact sorted
+// delta-varint stream with a header and a length, so profiles for
+// multi-gigabit devices stay small and load in one pass.
+
+// profileMagic identifies the serialization format.
+var profileMagic = [4]byte{'R', 'P', 'R', '1'}
+
+// WriteTo serializes the set: magic, uvarint count, then uvarint deltas of
+// the sorted addresses. It returns the number of bytes written.
+func (s *FailureSet) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	m, err := bw.Write(profileMagic[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		m, err := bw.Write(buf[:k])
+		n += int64(m)
+		return err
+	}
+	sorted := s.Sorted()
+	if err := put(uint64(len(sorted))); err != nil {
+		return n, err
+	}
+	prev := uint64(0)
+	for i, bit := range sorted {
+		delta := bit
+		if i > 0 {
+			delta = bit - prev
+		}
+		if err := put(delta); err != nil {
+			return n, err
+		}
+		prev = bit
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadFailureSet deserializes a profile written by WriteTo.
+func ReadFailureSet(r io.Reader) (*FailureSet, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: profile header: %w", err)
+	}
+	if magic != profileMagic {
+		return nil, fmt.Errorf("core: not a profile stream (magic %q)", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: profile count: %w", err)
+	}
+	const maxProfile = 1 << 32
+	if count > maxProfile {
+		return nil, fmt.Errorf("core: profile claims %d cells, refusing", count)
+	}
+	out := &FailureSet{m: make(map[uint64]struct{}, count)}
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: profile entry %d: %w", i, err)
+		}
+		if i > 0 && delta == 0 {
+			return nil, fmt.Errorf("core: profile entry %d: duplicate address", i)
+		}
+		bit := prev + delta
+		if i > 0 && bit < prev {
+			return nil, fmt.Errorf("core: profile entry %d: address overflow", i)
+		}
+		out.m[bit] = struct{}{}
+		prev = bit
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileSerializationRoundTrip(t *testing.T) {
+	f := func(bits []uint64) bool {
+		s := FromBits(bits)
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadFailureSet(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != s.Len() {
+			return false
+		}
+		for _, b := range s.Sorted() {
+			if !back.Contains(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileSerializationEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewFailureSet().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFailureSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("empty round trip has %d cells", back.Len())
+	}
+}
+
+func TestProfileSerializationCompact(t *testing.T) {
+	// Clustered addresses (the realistic case) compress to a few bytes
+	// per cell.
+	s := NewFailureSet()
+	for i := uint64(0); i < 10000; i++ {
+		s.Add(i*137 + 1<<30)
+	}
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	perCell := float64(buf.Len()) / 10000
+	if perCell > 3 {
+		t.Errorf("%.2f bytes/cell, want < 3 for clustered profiles", perCell)
+	}
+}
+
+func TestReadFailureSetRejectsGarbage(t *testing.T) {
+	if _, err := ReadFailureSet(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadFailureSet(strings.NewReader("XXXX....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream: valid header claiming entries that are missing.
+	var buf bytes.Buffer
+	s := NewFailureSet(1, 2, 3)
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadFailureSet(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Duplicate entry (zero delta after the first).
+	bad := []byte{'R', 'P', 'R', '1', 2, 5, 0}
+	if _, err := ReadFailureSet(bytes.NewReader(bad)); err == nil {
+		t.Error("duplicate address accepted")
+	}
+}
+
+func TestProfileSerializationThroughProfiler(t *testing.T) {
+	// End-to-end: profile, persist, reload, and verify the reloaded
+	// profile scores identically.
+	st := newStation(t, 30)
+	res, err := Reach(st, 1.024, ReachConditions{DeltaInterval: 0.25},
+		Options{Iterations: 4, FreshRandomPerIteration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.Failures.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFailureSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := Truth(st, 1.024, 45)
+	if Coverage(back, truth) != Coverage(res.Failures, truth) {
+		t.Error("reloaded profile scores differently")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestTradeoffConfigValidation(t *testing.T) {
+	mk := mkStation(20)
+	bad := TradeoffConfig{TargetInterval: 0}
+	if _, err := ExploreTradeoffs(mk, bad); err == nil {
+		t.Error("zero target interval not rejected")
+	}
+	bad = TradeoffConfig{TargetInterval: 1, DeltaIntervals: nil, DeltaTemps: []float64{0}}
+	if _, err := ExploreTradeoffs(mk, bad); err == nil {
+		t.Error("empty grid not rejected")
+	}
+	bad = TradeoffConfig{TargetInterval: 1, CoverageGoal: 1.5,
+		DeltaIntervals: []float64{0}, DeltaTemps: []float64{0}}
+	if _, err := ExploreTradeoffs(mk, bad); err == nil {
+		t.Error("coverage goal > 1 not rejected")
+	}
+}
+
+func TestExploreTradeoffsGrid(t *testing.T) {
+	cfg := TradeoffConfig{
+		TargetInterval: 1.024,
+		TargetTempC:    45,
+		DeltaIntervals: []float64{0, 0.25, 0.5},
+		DeltaTemps:     []float64{0},
+		Iterations:     6,
+		CoverageGoal:   0.9,
+		MaxIterations:  30,
+		Options:        Options{FreshRandomPerIteration: true, Seed: 5},
+	}
+	points, err := ExploreTradeoffs(mkStation(21), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+
+	brute := points[0]
+	if brute.Reach.DeltaInterval != 0 || brute.Reach.DeltaTempC != 0 {
+		t.Fatalf("first point is not the brute-force reference: %+v", brute.Reach)
+	}
+	if brute.RuntimeRelative != 1 {
+		t.Errorf("brute-force relative runtime = %v, want 1", brute.RuntimeRelative)
+	}
+	if brute.TruthSize == 0 {
+		t.Fatal("empty truth")
+	}
+	// With the empirical reference, the brute-force point scores perfectly
+	// against itself (paper Figure 9 at (0,0)).
+	if brute.Coverage != 1 || brute.FalsePositiveRate != 0 {
+		t.Errorf("brute-force reference point: cov=%v fpr=%v, want 1/0",
+			brute.Coverage, brute.FalsePositiveRate)
+	}
+
+	// Coverage must stay high along the reach axis; false positives appear.
+	for i := 1; i < len(points); i++ {
+		if points[i].Coverage < 0.90 {
+			t.Errorf("reach coverage dropped too low at point %d: %v",
+				i, points[i].Coverage)
+		}
+	}
+	last := points[len(points)-1]
+	if last.Coverage < 0.95 {
+		t.Errorf("+500ms reach coverage = %v, want > 0.95", last.Coverage)
+	}
+	if last.FalsePositiveRate <= brute.FalsePositiveRate {
+		t.Errorf("reach FPR %v not above brute-force FPR %v",
+			last.FalsePositiveRate, brute.FalsePositiveRate)
+	}
+
+	// Reach profiling must reach the coverage goal in fewer or equal
+	// iterations, and with RuntimeRelative <= ~1.
+	if last.ReachedGoal && brute.ReachedGoal &&
+		last.IterationsToGoal > brute.IterationsToGoal {
+		t.Errorf("reach needed more iterations to goal: %d vs %d",
+			last.IterationsToGoal, brute.IterationsToGoal)
+	}
+	for _, p := range points {
+		if p.RuntimeSeconds <= 0 {
+			t.Errorf("point %+v has non-positive runtime", p.Reach)
+		}
+	}
+}
+
+func TestReachSpeedupHeadline(t *testing.T) {
+	// The paper's headline: profiling ~250ms above the target runs faster
+	// to the same coverage than brute force at the target. On the small
+	// test chip we check the direction and that the speedup is material.
+	cfg := TradeoffConfig{
+		TargetInterval: 1.024,
+		TargetTempC:    45,
+		DeltaIntervals: []float64{0, 0.25},
+		DeltaTemps:     []float64{0},
+		Iterations:     8,
+		CoverageGoal:   0.95,
+		MaxIterations:  80,
+		Options:        Options{FreshRandomPerIteration: true, Seed: 9},
+	}
+	points, err := ExploreTradeoffs(mkStation(22), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, reach := points[0], points[1]
+	if !reach.ReachedGoal {
+		t.Fatalf("reach profiling did not reach 95%% coverage in %d iterations", cfg.MaxIterations)
+	}
+	if reach.Speedup() < 1.3 {
+		t.Errorf("reach speedup = %vx (brute %v s, reach %v s); want >= 1.3x",
+			reach.Speedup(), brute.RuntimeSeconds, reach.RuntimeSeconds)
+	}
+}
+
+func TestTradeoffPointSpeedupDegenerate(t *testing.T) {
+	p := TradeoffPoint{}
+	if p.Speedup() != 0 {
+		t.Error("zero relative runtime should give zero speedup")
+	}
+	p.RuntimeRelative = 0.5
+	if p.Speedup() != 2 {
+		t.Error("Speedup should be 1/RuntimeRelative")
+	}
+}

@@ -1,0 +1,121 @@
+// Package dram implements a behavioural model of an LPDDR4 DRAM device with
+// realistic data-retention failures. It is the synthetic stand-in for the 368
+// real chips characterized by the REAPER paper (ISCA 2017): profiling code
+// interacts with it exactly as it would with hardware — write data, let time
+// pass without refresh, read back and compare — while the device's latent
+// cell population reproduces the paper's measured statistics:
+//
+//   - Each weak cell fails with a probability that is a normal CDF in the
+//     time since its last restore (paper Section 5.5, Figure 6a).
+//   - Per-cell CDF standard deviations are lognormally distributed
+//     (Figure 6b), and retention-time means follow a power-law tail
+//     calibrated to the paper's bit-error-rate curve (Figure 2).
+//   - Raising the temperature scales the failure population exponentially
+//     with the per-vendor coefficients of Equation 1, shifting per-cell
+//     (mu, sigma) left and narrower (Figure 7).
+//   - A subpopulation of cells exhibits variable retention time (VRT):
+//     memoryless switching between retention states, which produces the
+//     endless steady-state accumulation of new failures (Figure 3) at a
+//     polynomial rate in the refresh interval (Figure 4).
+//   - Each cell's effective retention depends on the stored data pattern in
+//     its neighbourhood (DPD, Figures 5), so no single pattern finds all
+//     failures.
+//
+// Strong cells — the overwhelming majority — never fail, and are therefore
+// never materialized: the device stores row contents as pattern descriptors
+// plus sparse overrides, which lets it model multi-gigabit chips in a few
+// megabytes and lets whole-chip profiling passes run in O(weak cells).
+package dram
+
+import "fmt"
+
+// Geometry describes the logical organization of one DRAM device.
+// Data is addressed as 64-bit words: a row holds WordsPerRow words.
+type Geometry struct {
+	Banks       int
+	RowsPerBank int
+	WordsPerRow int
+}
+
+// WordBits is the width of the device's addressable word.
+const WordBits = 64
+
+// Validate reports whether the geometry is usable.
+func (g Geometry) Validate() error {
+	if g.Banks <= 0 || g.RowsPerBank <= 0 || g.WordsPerRow <= 0 {
+		return fmt.Errorf("dram: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// TotalRows returns the number of rows across all banks.
+func (g Geometry) TotalRows() int { return g.Banks * g.RowsPerBank }
+
+// RowBits returns the number of bits in one row.
+func (g Geometry) RowBits() int { return g.WordsPerRow * WordBits }
+
+// TotalBits returns the device capacity in bits.
+func (g Geometry) TotalBits() int64 {
+	return int64(g.TotalRows()) * int64(g.RowBits())
+}
+
+// TotalBytes returns the device capacity in bytes.
+func (g Geometry) TotalBytes() int64 { return g.TotalBits() / 8 }
+
+// String renders the geometry in a human-readable form, e.g. "8b x 4096r x 2KB".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%d banks x %d rows x %d B/row (%.1f Mbit)",
+		g.Banks, g.RowsPerBank, g.RowBits()/8, float64(g.TotalBits())/(1<<20))
+}
+
+// GeometryForBits returns a geometry with approximately the requested number
+// of bits, using 8 banks and 2KB rows (the LPDDR4 configuration of the
+// paper's Table 2). The result is rounded up to a whole number of rows per
+// bank, so TotalBits() >= bits.
+func GeometryForBits(bits int64) Geometry {
+	const banks = 8
+	const wordsPerRow = 256 // 2KB rows
+	rowBits := int64(wordsPerRow * WordBits)
+	rows := (bits + banks*rowBits - 1) / (banks * rowBits)
+	if rows < 1 {
+		rows = 1
+	}
+	return Geometry{Banks: banks, RowsPerBank: int(rows), WordsPerRow: wordsPerRow}
+}
+
+// Addr identifies a single bit in the device.
+type Addr struct {
+	Bank int
+	Row  int
+	Word int // word index within the row
+	Bit  int // bit index within the word, 0 = LSB
+}
+
+// BitIndex converts an Addr to a global linear bit index.
+func (g Geometry) BitIndex(a Addr) uint64 {
+	row := uint64(a.Bank)*uint64(g.RowsPerBank) + uint64(a.Row)
+	return row*uint64(g.RowBits()) + uint64(a.Word)*WordBits + uint64(a.Bit)
+}
+
+// AddrOf converts a global linear bit index back to an Addr.
+func (g Geometry) AddrOf(bit uint64) Addr {
+	rowBits := uint64(g.RowBits())
+	row := bit / rowBits
+	inRow := bit % rowBits
+	return Addr{
+		Bank: int(row / uint64(g.RowsPerBank)),
+		Row:  int(row % uint64(g.RowsPerBank)),
+		Word: int(inRow / WordBits),
+		Bit:  int(inRow % WordBits),
+	}
+}
+
+// GlobalRow returns the flat row index (bank-major) of an address.
+func (g Geometry) GlobalRow(bank, row int) uint32 {
+	return uint32(bank*g.RowsPerBank + row)
+}
+
+// rowOfBit returns the flat row index containing a global bit index.
+func (g Geometry) rowOfBit(bit uint64) uint32 {
+	return uint32(bit / uint64(g.RowBits()))
+}

@@ -1,0 +1,74 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests on the oracle-facing probability surface: the model's
+// physical monotonicities must hold for every weak cell at every condition.
+
+func TestCellFailProbMonotoneInInterval(t *testing.T) {
+	d := testDevice(t, 60, nil)
+	cells := d.Cells(0)
+	f := func(idx uint16, rawT uint32, rawDelta uint16) bool {
+		c := cells[int(idx)%len(cells)]
+		t0 := 0.1 + float64(rawT%8000)/1000          // 0.1 .. 8.1s
+		delta := 0.001 + float64(rawDelta%2000)/1000 // up to +2s
+		p0 := d.CellFailProb(c.Bit, t0, 45, 0)
+		p1 := d.CellFailProb(c.Bit, t0+delta, 45, 0)
+		return p1 >= p0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellFailProbMonotoneInTemperature(t *testing.T) {
+	d := testDevice(t, 61, nil)
+	cells := d.Cells(0)
+	f := func(idx uint16, rawT uint32, rawDT uint8) bool {
+		c := cells[int(idx)%len(cells)]
+		interval := 0.2 + float64(rawT%6000)/1000
+		dT := float64(rawDT % 15)
+		p0 := d.CellFailProb(c.Bit, interval, 40, 0)
+		p1 := d.CellFailProb(c.Bit, interval, 40+dT, 0)
+		return p1 >= p0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellFailProbBounds(t *testing.T) {
+	d := testDevice(t, 62, nil)
+	cells := d.Cells(0)
+	f := func(idx uint16, rawT uint32, rawTemp uint8) bool {
+		c := cells[int(idx)%len(cells)]
+		interval := float64(rawT%20000) / 1000
+		temp := 35 + float64(rawTemp%25)
+		p := d.CellFailProb(c.Bit, interval, temp, 0)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrueFailingSetThresholdMonotone(t *testing.T) {
+	d := testDevice(t, 63, nil)
+	// A laxer threshold can only grow the set.
+	strict := len(d.TrueFailingSet(1.024, 45, 0, 0.5))
+	lax := len(d.TrueFailingSet(1.024, 45, 0, 0.001))
+	if strict > lax {
+		t.Errorf("threshold monotonicity violated: %d at 0.5 vs %d at 0.001", strict, lax)
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	g := Geometry{Banks: 8, RowsPerBank: 64, WordsPerRow: 256}
+	s := g.String()
+	if s == "" {
+		t.Fatal("empty geometry string")
+	}
+}

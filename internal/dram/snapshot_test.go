@@ -1,0 +1,110 @@
+package dram
+
+import (
+	"testing"
+
+	"reaper/internal/patterns"
+)
+
+func TestSnapshotRoundTripPreservesContent(t *testing.T) {
+	d := testDevice(t, 40, nil)
+	d.WriteAll(patterns.Checkerboard(), 0)
+	words := make([]uint64, d.Geometry().WordsPerRow)
+	for i := range words {
+		words[i] = uint64(i) * 0x1111111111111111
+	}
+	if err := d.WriteRow(2, 7, words, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteWord(3, 9, 4, 0xabcdef, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := d.SnapshotContent()
+
+	// Trash the device.
+	d.WriteAll(patterns.Solid1(), 10)
+
+	if err := d.RestoreContent(snap, 20); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadRow(2, 7, 20.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if got[i] != words[i] {
+			t.Fatalf("restored row word %d = %x, want %x", i, got[i], words[i])
+		}
+	}
+	v, err := d.ReadWord(3, 9, 4, 20.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xabcdef {
+		t.Fatalf("restored word = %x", v)
+	}
+	// Bulk content restored too.
+	other, err := d.ReadRow(0, 0, 20.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[0] != patterns.Checkerboard().Word(0, 0) {
+		t.Errorf("bulk content not restored: %x", other[0])
+	}
+}
+
+func TestSnapshotPreservesCorruption(t *testing.T) {
+	// Saving cannot heal: a cell that decayed before the save keeps its
+	// wrong value after restore.
+	d := testDevice(t, 41, nil)
+	d.WriteAll(patterns.Solid1(), 0)
+	fails := d.ReadCompareAll(4.096) // decays and locks in failures
+	if len(fails) == 0 {
+		t.Fatal("no failures to test with")
+	}
+	snap := d.SnapshotContent()
+	d.WriteAll(patterns.Solid0(), 5) // trash
+	if err := d.RestoreContent(snap, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Right after restore, the previously failed bits still read wrong.
+	after := d.ReadCompareAll(6.001)
+	stillWrong := make(map[uint64]bool, len(after))
+	for _, b := range after {
+		stillWrong[b] = true
+	}
+	for _, b := range fails {
+		if !stillWrong[b] {
+			t.Fatalf("bit %d healed through save/restore", b)
+		}
+	}
+}
+
+func TestSnapshotChargeIsFreshAfterRestore(t *testing.T) {
+	// The restore is a full write: a long time between snapshot and
+	// restore must not count as retention time.
+	d := testDevice(t, 42, nil)
+	d.WriteAll(patterns.Random(1), 0)
+	snap := d.SnapshotContent()
+	// Restore a simulated hour later; an immediate read sees no *new*
+	// failures (elapsed is measured from the restore).
+	if err := d.RestoreContent(snap, 3600); err != nil {
+		t.Fatal(err)
+	}
+	if fails := d.ReadCompareAll(3600.01); len(fails) != 0 {
+		t.Errorf("%d failures right after restore, want 0", len(fails))
+	}
+}
+
+func TestRestoreContentValidation(t *testing.T) {
+	d := testDevice(t, 43, nil)
+	if err := d.RestoreContent(nil, 0); err == nil {
+		t.Error("nil snapshot not rejected")
+	}
+	other := testDevice(t, 44, func(c *Config) { c.WeakScale = 5 })
+	snap := other.SnapshotContent()
+	if err := d.RestoreContent(snap, 0); err == nil {
+		t.Error("foreign snapshot not rejected")
+	}
+}

@@ -1,0 +1,216 @@
+package ecc
+
+// This file implements a working double-error-correcting binary BCH code —
+// the concrete codec behind the paper's "ECC-2" strength (Table 1). The
+// code is the narrow-sense BCH(127, 113, d=5) over GF(2^7), shortened to
+// protect one 64-bit data word with 14 check bits (78 coded bits, within
+// the 80-bit ECC word the analytic model budgets for ECC-2).
+//
+// Layout of the length-127 codeword (positions are polynomial degrees):
+//
+//	positions 0..13    check bits (remainder of x^14 d(x) mod g(x))
+//	positions 14..77   the 64 data bits
+//	positions 78..126  shortened away (always zero, never transmitted)
+//
+// Decoding uses Peterson's direct solution for t=2 plus a Chien search.
+
+// gfOrder is the multiplicative order of GF(2^7).
+const gfOrder = 127
+
+// bchN and bchDataLo/bchDataHi delimit the shortened code.
+const (
+	bchCheckBits = 14
+	bchDataBits  = 64
+	bchBits      = bchCheckBits + bchDataBits // 78 used positions
+)
+
+// gfExp and gfLog are the antilog/log tables for GF(2^7) with primitive
+// polynomial x^7 + x^3 + 1.
+var gfExp [2 * gfOrder]byte
+var gfLog [gfOrder + 1]int
+
+// bchGen is the generator polynomial g(x) = m1(x)*m3(x), degree 14, as a
+// bit mask (bit i = coefficient of x^i).
+var bchGen uint32
+
+func init() {
+	// Build the field tables.
+	const primPoly = 0x89 // x^7 + x^3 + 1
+	x := byte(1)
+	for i := 0; i < gfOrder; i++ {
+		gfExp[i] = x
+		gfExp[i+gfOrder] = x
+		gfLog[x] = i
+		hi := x&0x40 != 0
+		x <<= 1
+		if hi {
+			x ^= primPoly
+		}
+		x &= 0x7f
+	}
+
+	// Build g(x) = lcm(m1, m3): multiply (x - α^j) over the conjugacy
+	// classes of α and α^3.
+	poly := []byte{1} // coefficients in GF(2^7), index = degree
+	mulRoot := func(root byte) {
+		next := make([]byte, len(poly)+1)
+		for d, c := range poly {
+			if c == 0 {
+				continue
+			}
+			next[d+1] ^= c
+			next[d] ^= gfMul(c, root)
+		}
+		poly = next
+	}
+	seen := map[int]bool{}
+	for _, base := range []int{1, 3} {
+		e := base
+		for !seen[e] {
+			seen[e] = true
+			mulRoot(gfExp[e])
+			e = e * 2 % gfOrder
+		}
+	}
+	// The product of full conjugacy classes has GF(2) coefficients.
+	for d, c := range poly {
+		switch c {
+		case 0:
+		case 1:
+			bchGen |= 1 << uint(d)
+		default:
+			panic("ecc: BCH generator polynomial not over GF(2)")
+		}
+	}
+	if bchGen>>bchCheckBits != 1 {
+		panic("ecc: BCH generator degree != 14")
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("ecc: inverse of zero")
+	}
+	return gfExp[gfOrder-gfLog[a]]
+}
+
+func gfPow(a byte, n int) byte {
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]*n%gfOrder]
+}
+
+// BCHWord is one encoded ECC-2 word: 64 data bits plus 14 check bits.
+type BCHWord struct {
+	Data  uint64
+	Check uint16 // low 14 bits used
+}
+
+// codeBit returns the codeword bit at position pos (0..77).
+func (w BCHWord) codeBit(pos int) byte {
+	if pos < bchCheckBits {
+		return byte(w.Check >> uint(pos) & 1)
+	}
+	return byte(w.Data >> uint(pos-bchCheckBits) & 1)
+}
+
+func (w *BCHWord) flip(pos int) {
+	if pos < bchCheckBits {
+		w.Check ^= 1 << uint(pos)
+	} else {
+		w.Data ^= 1 << uint(pos-bchCheckBits)
+	}
+}
+
+// EncodeBCH encodes 64 data bits into a shortened BCH(78, 64, d=5) word
+// that corrects any two bit errors.
+func EncodeBCH(data uint64) BCHWord {
+	// Systematic encoding: remainder of x^14 * d(x) divided by g(x),
+	// computed bit-serially from the highest data degree down.
+	var rem uint32 // 14-bit LFSR state, bit i = coefficient of x^i
+	for i := bchDataBits - 1; i >= 0; i-- {
+		fb := byte(rem>>uint(bchCheckBits-1)&1) ^ byte(data>>uint(i)&1)
+		rem = (rem << 1) & ((1 << bchCheckBits) - 1)
+		if fb == 1 {
+			rem ^= bchGen & ((1 << bchCheckBits) - 1)
+		}
+	}
+	return BCHWord{Data: data, Check: uint16(rem)}
+}
+
+// syndrome evaluates r(α^j).
+func bchSyndrome(w BCHWord, j int) byte {
+	var s byte
+	for pos := 0; pos < bchBits; pos++ {
+		if w.codeBit(pos) == 1 {
+			s ^= gfExp[pos*j%gfOrder]
+		}
+	}
+	return s
+}
+
+// DecodeBCH decodes a possibly corrupted word. It returns the best-effort
+// data, the decode status (Clean, Corrected for 1-2 repaired bits, or
+// DoubleError when the error is uncorrectable), and the number of bits
+// repaired.
+func DecodeBCH(w BCHWord) (data uint64, status DecodeStatus, fixed int) {
+	s1 := bchSyndrome(w, 1)
+	s3 := bchSyndrome(w, 3)
+	if s1 == 0 && s3 == 0 {
+		return w.Data, Clean, 0
+	}
+	if s1 != 0 {
+		// Single-error hypothesis: error at position log(s1) iff
+		// s3 == s1^3.
+		if s3 == gfPow(s1, 3) {
+			pos := gfLog[s1]
+			if pos >= bchBits {
+				return w.Data, DoubleError, 0
+			}
+			w.flip(pos)
+			return w.Data, Corrected, 1
+		}
+		// Double-error hypothesis (Peterson, t=2): the error locator is
+		// sigma(x) = 1 + s1*x + (s3/s1 + s1^2)*x^2.
+		sigma1 := s1
+		sigma2 := gfMul(s3, gfInv(s1)) ^ gfPow(s1, 2)
+		// Chien search over the used positions: position i is in error
+		// iff sigma(α^-i) == 0.
+		var roots []int
+		for i := 0; i < bchBits && len(roots) <= 2; i++ {
+			xinv := gfExp[(gfOrder-i)%gfOrder] // α^-i
+			v := byte(1) ^ gfMul(sigma1, xinv) ^ gfMul(sigma2, gfMul(xinv, xinv))
+			if v == 0 {
+				roots = append(roots, i)
+			}
+		}
+		if len(roots) == 2 {
+			w.flip(roots[0])
+			w.flip(roots[1])
+			return w.Data, Corrected, 2
+		}
+	}
+	// s1 == 0 with s3 != 0, or no consistent locator: >= 3 errors.
+	return w.Data, DoubleError, 0
+}
+
+// FlipBCHBit returns a copy of w with the given coded-bit position (0..77)
+// flipped: positions 0-13 are check bits, 14-77 are data bits.
+func FlipBCHBit(w BCHWord, pos int) BCHWord {
+	if pos < 0 || pos >= bchBits {
+		panic("ecc: FlipBCHBit position out of range")
+	}
+	w.flip(pos)
+	return w
+}
+
+// BCHCodedBits is the number of transmitted bits per ECC-2 word.
+const BCHCodedBits = bchBits

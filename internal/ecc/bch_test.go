@@ -1,0 +1,147 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"reaper/internal/rng"
+)
+
+func TestBCHRoundTrip(t *testing.T) {
+	f := func(data uint64) bool {
+		w := EncodeBCH(data)
+		got, status, fixed := DecodeBCH(w)
+		return got == data && status == Clean && fixed == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCHCorrectsEverySingleBitFlip(t *testing.T) {
+	for _, data := range []uint64{0, ^uint64(0), 0xdeadbeefcafef00d, 1, 1 << 63} {
+		w := EncodeBCH(data)
+		for pos := 0; pos < BCHCodedBits; pos++ {
+			got, status, fixed := DecodeBCH(FlipBCHBit(w, pos))
+			if status != Corrected || fixed != 1 {
+				t.Fatalf("flip at %d: status %v fixed %d", pos, status, fixed)
+			}
+			if got != data {
+				t.Fatalf("flip at %d: data %x, want %x", pos, got, data)
+			}
+		}
+	}
+}
+
+func TestBCHCorrectsEveryDoubleBitFlip(t *testing.T) {
+	data := uint64(0x0123456789abcdef)
+	w := EncodeBCH(data)
+	for a := 0; a < BCHCodedBits; a++ {
+		for b := a + 1; b < BCHCodedBits; b++ {
+			got, status, fixed := DecodeBCH(FlipBCHBit(FlipBCHBit(w, a), b))
+			if status != Corrected || fixed != 2 {
+				t.Fatalf("flips (%d,%d): status %v fixed %d", a, b, status, fixed)
+			}
+			if got != data {
+				t.Fatalf("flips (%d,%d): data %x, want %x", a, b, got, data)
+			}
+		}
+	}
+}
+
+func TestBCHTripleErrorsDoNotPanicAndAreNeverSilentlyClean(t *testing.T) {
+	// With designed distance 5, three errors are beyond the guarantee:
+	// the decoder may flag them or miscorrect, but it must never report
+	// Clean with wrong data.
+	src := rng.New(9)
+	data := uint64(0x5555aaaa5555aaaa)
+	w := EncodeBCH(data)
+	flagged, miscorrected := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		a := src.Intn(BCHCodedBits)
+		b := src.Intn(BCHCodedBits)
+		c := src.Intn(BCHCodedBits)
+		if a == b || b == c || a == c {
+			continue
+		}
+		got, status, _ := DecodeBCH(FlipBCHBit(FlipBCHBit(FlipBCHBit(w, a), b), c))
+		switch status {
+		case Clean:
+			if got != data {
+				t.Fatal("triple error decoded as Clean with wrong data")
+			}
+		case DoubleError:
+			flagged++
+		case Corrected:
+			if got != data {
+				miscorrected++
+			}
+		}
+	}
+	if flagged == 0 {
+		t.Error("no triple error was ever flagged uncorrectable")
+	}
+	t.Logf("triple errors: %d flagged, %d miscorrected (allowed beyond d=5)", flagged, miscorrected)
+}
+
+func TestBCHCodeDistanceAtLeast5(t *testing.T) {
+	// Any two distinct codewords differ in at least 5 coded bits.
+	src := rng.New(10)
+	dist := func(a, b BCHWord) int {
+		d := 0
+		for pos := 0; pos < BCHCodedBits; pos++ {
+			if a.codeBit(pos) != b.codeBit(pos) {
+				d++
+			}
+		}
+		return d
+	}
+	for i := 0; i < 300; i++ {
+		x, y := src.Uint64(), src.Uint64()
+		if x == y {
+			continue
+		}
+		if d := dist(EncodeBCH(x), EncodeBCH(y)); d < 5 {
+			t.Fatalf("codewords for %x and %x at distance %d < 5", x, y, d)
+		}
+	}
+}
+
+func TestBCHCheckBitsStayIn14Bits(t *testing.T) {
+	f := func(data uint64) bool {
+		return EncodeBCH(data).Check < 1<<14
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCHLinear(t *testing.T) {
+	// BCH is linear: check(a) XOR check(b) == check(a XOR b).
+	f := func(a, b uint64) bool {
+		return EncodeBCH(a).Check^EncodeBCH(b).Check == EncodeBCH(a^b).Check
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipBCHBitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlipBCHBit(78) did not panic")
+		}
+	}()
+	FlipBCHBit(BCHWord{}, BCHCodedBits)
+}
+
+func TestBCHOverheadMatchesECC2Budget(t *testing.T) {
+	// The analytic ECC-2 model budgets 16 extra bits per 64-bit word; the
+	// real BCH code uses 14, so the model is (slightly conservatively)
+	// consistent with a realizable code.
+	if BCHCodedBits > ECC2().WordBits {
+		t.Errorf("BCH word of %d bits exceeds the ECC-2 budget of %d",
+			BCHCodedBits, ECC2().WordBits)
+	}
+}

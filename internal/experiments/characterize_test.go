@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"reaper/internal/dram"
+)
+
+func smallChip(seed uint64) ChipSpec {
+	c := DefaultChipSpec(seed)
+	c.Bits = 16 << 20
+	c.WeakScale = 30
+	return c
+}
+
+func TestFig2ShapesMatchPaper(t *testing.T) {
+	cfg := DefaultFig2Config()
+	cfg.Iterations = 3
+	cfg.Chip = func(v dram.VendorParams, seed uint64) ChipSpec {
+		c := smallChip(seed)
+		c.Vendor = v
+		return c
+	}
+	rows, err := Fig2RetentionDistribution(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*len(cfg.Intervals) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	vendors := map[string]bool{}
+	for _, r := range rows {
+		vendors[r.Vendor] = true
+	}
+	if len(vendors) != 3 {
+		t.Errorf("expected 3 vendors, got %v", vendors)
+	}
+	// BER must grow monotonically with interval for each vendor.
+	perVendor := map[string][]Fig2Row{}
+	for _, r := range rows {
+		perVendor[r.Vendor] = append(perVendor[r.Vendor], r)
+	}
+	for v, rs := range perVendor {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].BER < rs[i-1].BER {
+				t.Errorf("vendor %s: BER fell from %v to %v at %v",
+					v, rs[i-1].BER, rs[i].BER, rs[i].IntervalS)
+			}
+		}
+		// Observation 1: cells observed at lower intervals overwhelmingly
+		// fail again at the top interval — repeats dominate non-repeats.
+		last := rs[len(rs)-1]
+		lowerSet := last.Repeat + last.NonRepeat
+		if lowerSet == 0 {
+			t.Fatalf("vendor %s: empty lower-interval population", v)
+		}
+		if frac := float64(last.Repeat) / float64(lowerSet); frac < 0.8 {
+			t.Errorf("vendor %s: only %v of lower-interval cells repeat at %v; Observation 1 violated",
+				v, frac, last.IntervalS)
+		}
+		// Model BER at 1024ms must be near the vendor's calibration.
+		for _, r := range rs {
+			if r.IntervalS == 1.024 {
+				want := dram.VendorB().BERAt1024ms
+				if v == "A" {
+					want = dram.VendorA().BERAt1024ms
+				}
+				if v == "C" {
+					want = dram.VendorC().BERAt1024ms
+				}
+				if r.BER < want/4 || r.BER > want*2 {
+					t.Errorf("vendor %s BER@1024ms = %v, calibration %v", v, r.BER, want)
+				}
+			}
+		}
+	}
+	// Table renders.
+	var sb strings.Builder
+	Fig2Table(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "Figure 2") {
+		t.Error("table did not render")
+	}
+}
+
+func TestFig3VRTAccumulation(t *testing.T) {
+	cfg := Fig3Config{
+		Chip:          ChipSpec{Bits: 16 << 20, WeakScale: 100, Vendor: dram.VendorB(), Seed: 31},
+		IntervalS:     2.048,
+		Iterations:    60,
+		TotalSimHours: 36,
+	}
+	res, err := Fig3VRTAccumulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != cfg.Iterations {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	// Cumulative must be non-decreasing and keep growing in the second
+	// half (Observation 2: the failing population never stops changing).
+	half := res.Points[len(res.Points)/2]
+	last := res.Points[len(res.Points)-1]
+	if last.Cumulative <= half.Cumulative {
+		t.Errorf("no new failures in the second half: %d -> %d",
+			half.Cumulative, last.Cumulative)
+	}
+	if res.SteadyStateCellsPerHour <= 0 {
+		t.Errorf("steady-state rate = %v, want > 0", res.SteadyStateCellsPerHour)
+	}
+	// The failures-per-iteration total stays roughly constant (the rate
+	// of cells entering the failing set matches the rate leaving it).
+	if res.PerIterationMean <= 0 {
+		t.Error("per-iteration mean should be positive")
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Cumulative < res.Points[i-1].Cumulative {
+			t.Fatal("cumulative count decreased")
+		}
+		if res.Points[i].SimHours <= res.Points[i-1].SimHours {
+			t.Fatal("sim time not advancing")
+		}
+	}
+	if _, err := Fig3VRTAccumulation(Fig3Config{Chip: cfg.Chip, IntervalS: 1, Iterations: 2}); err == nil {
+		t.Error("too-few iterations not rejected")
+	}
+}
+
+func TestFig4RatesGrowPolynomially(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-vendor accumulation sweep is slow")
+	}
+	cfg := Fig4Config{
+		Intervals:  []float64{2.048, 4.096},
+		Iterations: 30,
+		SimHours:   36,
+		Seed:       41,
+		ChipBits:   8 << 20,
+		WeakScale:  150,
+	}
+	rows, err := Fig4AccumulationRates(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d vendor rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.RatesPerHour) != 2 {
+			t.Fatalf("vendor %s: %d rates", r.Vendor, len(r.RatesPerHour))
+		}
+		if r.RatesPerHour[1] <= r.RatesPerHour[0] {
+			t.Errorf("vendor %s: rate did not grow with interval: %v",
+				r.Vendor, r.RatesPerHour)
+		}
+		// Polynomial growth: the measured exponent should be well above
+		// linear (the calibrated exponents are 3.6-4.2).
+		if r.Fit.B < 1.5 {
+			t.Errorf("vendor %s: fit exponent %v, want super-linear", r.Vendor, r.Fit.B)
+		}
+	}
+	var sb strings.Builder
+	Fig4Table(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "Figure 4") {
+		t.Error("table did not render")
+	}
+}
+
+func TestFig5RandomPatternWins(t *testing.T) {
+	cfg := Fig5Config{
+		IntervalS:  2.048,
+		Iterations: 24,
+		Seed:       51,
+		Vendors:    []dram.VendorParams{dram.VendorB()},
+		ChipBits:   16 << 20,
+		WeakScale:  30,
+	}
+	rows, err := Fig5PatternCoverage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 pattern families", len(rows))
+	}
+	var random, best Fig5Row
+	for _, r := range rows {
+		if r.Coverage < 0 || r.Coverage > 1 {
+			t.Errorf("coverage out of range: %+v", r)
+		}
+		if r.Found > r.Total {
+			t.Errorf("found > total: %+v", r)
+		}
+		if r.Pattern == "random" {
+			random = r
+		}
+		if r.Coverage > best.Coverage {
+			best = r
+		}
+	}
+	// Observation 3: random leads but does not reach 100%.
+	if best.Pattern != "random" {
+		t.Errorf("best pattern = %s (%.3f), want random (%.3f)",
+			best.Pattern, best.Coverage, random.Coverage)
+	}
+	if random.Coverage >= 1 {
+		t.Error("random pattern should not reach full coverage alone")
+	}
+	if !Fig5RandomWins(rows) {
+		t.Error("Fig5RandomWins disagrees with manual check")
+	}
+	var sb strings.Builder
+	Fig5Table(rows).Render(&sb)
+	if !strings.Contains(sb.String(), "Figure 5") {
+		t.Error("table did not render")
+	}
+}
+
+func TestFig5RandomWinsEmpty(t *testing.T) {
+	if Fig5RandomWins(nil) {
+		t.Error("empty rows should not claim a random win")
+	}
+}
+
+func TestFig6NormalCDFsAndLognormalSigmas(t *testing.T) {
+	cfg := DefaultFig6Config()
+	cfg.Chip.Bits = 16 << 20
+	cfg.Chip.WeakScale = 30
+	cfg.SampleCells = 12
+	cfg.TrialsPerPoint = 16
+	cfg.PointsPerCell = 5
+	res, err := Fig6CellCDFs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellsMeasured < 8 {
+		t.Fatalf("only %d cells measured", res.CellsMeasured)
+	}
+	// Measured failure fractions track the normal CDF within binomial
+	// noise (16 trials -> ~0.125 standard error).
+	if res.MedianKS > 0.3 {
+		t.Errorf("median deviation from normal CDF = %v, too large", res.MedianKS)
+	}
+	// Figure 6b: sigma population is lognormal with most cells under
+	// 200 ms.
+	if res.FracSigmaBelow200ms < 0.5 {
+		t.Errorf("only %v of sigmas below 200ms; paper says the majority",
+			res.FracSigmaBelow200ms)
+	}
+	if res.SigmaLogSigma <= 0 {
+		t.Error("lognormal sigma fit degenerate")
+	}
+	// The fitted lognormal median should be near the calibrated one
+	// (80 ms at 45C, scaled to 40C).
+	median := math.Exp(res.SigmaLogMu)
+	if median < 0.04 || median > 0.3 {
+		t.Errorf("sigma median = %v s, want ~0.1", median)
+	}
+}
+
+func TestFig7DistributionsShiftLeftWithTemperature(t *testing.T) {
+	rows, err := Fig7TemperatureShift(smallChip(71), []float64{40, 45, 50, 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MedianMuS >= rows[i-1].MedianMuS {
+			t.Errorf("median mu did not shift left: %v", rows)
+		}
+		if rows[i].MedianSigma >= rows[i-1].MedianSigma {
+			t.Errorf("median sigma did not narrow: %v", rows)
+		}
+	}
+}
+
+func TestFig8TemperatureIntervalEquivalence(t *testing.T) {
+	res, err := Fig8CombinedDistribution(smallChip(81),
+		[]float64{40, 45, 50, 55}, []float64{0.512, 1.024, 2.048, 4.096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean failure probability must increase along both axes.
+	for ti := range res.Temps {
+		for ii := 1; ii < len(res.Intervals); ii++ {
+			if res.MeanFailProb[ti][ii] < res.MeanFailProb[ti][ii-1] {
+				t.Errorf("prob not increasing in interval at temp %v", res.Temps[ti])
+			}
+		}
+	}
+	for ii := range res.Intervals {
+		for ti := 1; ti < len(res.Temps); ti++ {
+			if res.MeanFailProb[ti][ii] < res.MeanFailProb[ti-1][ii] {
+				t.Errorf("prob not increasing in temperature at interval %v", res.Intervals[ii])
+			}
+		}
+	}
+	// The paper: at 45°C, ~1 s of interval is equivalent to ~10°C.
+	if res.EquivalentDeltaIntervalPer10C < 0.3 || res.EquivalentDeltaIntervalPer10C > 3 {
+		t.Errorf("+10°C equivalent interval delta = %v s, want ~1 s",
+			res.EquivalentDeltaIntervalPer10C)
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestClassificationFallacy(t *testing.T) {
+	cfg := DefaultClassificationConfig()
+	cfg.ObserveIterations = 16
+	cfg.ObserveHours = 8
+	res, err := ClassificationFallacy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LabelledWeak == 0 {
+		t.Fatal("classification window found nothing")
+	}
+	// The paper's claim: the weak/strong boundary does not hold. A
+	// non-trivial number of "strong"-labelled cells must fail later.
+	if res.LateFailures == 0 {
+		t.Error("no strong-labelled cell ever failed; weak/strong classification would be valid")
+	}
+	if res.LateFailureRatio <= 0.01 {
+		t.Errorf("late-failure ratio %v too small to demonstrate the fallacy", res.LateFailureRatio)
+	}
+	t.Logf("labelled weak: %d; later failures among 'strong' cells: %d (ratio %.3f)",
+		res.LabelledWeak, res.LateFailures, res.LateFailureRatio)
+}

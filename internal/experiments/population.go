@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reaper/internal/core"
+	"reaper/internal/dram"
+	"reaper/internal/stats"
+)
+
+// The paper's evidence is population-level: 368 chips across three vendors,
+// with every chip showing the same tradeoff trends (Section 6.1.1: "We
+// repeat this analysis for all 368 of our DRAM chips and find that each
+// chip demonstrates the same trends"). PopulationSweep reproduces that
+// aggregation over a configurable fleet of simulated chips.
+
+// PopulationConfig drives the sweep.
+type PopulationConfig struct {
+	// ChipsPerVendor is the fleet size per vendor (the paper's fleet is
+	// ~123 per vendor; benches use a dozen).
+	ChipsPerVendor int
+	// TargetInterval and Reach are the conditions every chip is evaluated
+	// at (+250ms is the paper's headline point).
+	TargetInterval float64
+	Reach          core.ReachConditions
+	Iterations     int
+	ChipBits       int64
+	WeakScale      float64
+	Seed           uint64
+}
+
+// DefaultPopulationConfig is a bench-scale fleet.
+func DefaultPopulationConfig() PopulationConfig {
+	return PopulationConfig{
+		ChipsPerVendor: 4,
+		TargetInterval: 1.024,
+		Reach:          core.ReachConditions{DeltaInterval: 0.25},
+		Iterations:     8,
+		ChipBits:       16 << 20,
+		WeakScale:      30,
+		Seed:           500,
+	}
+}
+
+// ChipResult is one chip's evaluation.
+type ChipResult struct {
+	Vendor   string
+	Seed     uint64
+	BER1024  float64 // normalized BER at 1024ms/45°C
+	Coverage float64 // at the reach conditions vs oracle truth
+	FPR      float64
+}
+
+// PopulationResult aggregates a vendor's fleet.
+type PopulationResult struct {
+	Vendor        string
+	Chips         []ChipResult
+	BERMean       float64
+	BERStd        float64
+	CoverageMean  float64
+	CoverageMin   float64
+	FPRMean       float64
+	FPRMax        float64
+	AllChipsAgree bool // every chip individually beats brute-force-like coverage
+}
+
+// PopulationSweep evaluates a fleet of chips per vendor and aggregates.
+func PopulationSweep(cfg PopulationConfig) ([]PopulationResult, error) {
+	if cfg.ChipsPerVendor <= 0 {
+		return nil, fmt.Errorf("experiments: fleet size must be positive")
+	}
+	var out []PopulationResult
+	for vi, vendor := range dram.Vendors() {
+		res := PopulationResult{Vendor: vendor.Name, AllChipsAgree: true, CoverageMin: 1}
+		var bers, covs, fprs []float64
+		for c := 0; c < cfg.ChipsPerVendor; c++ {
+			seed := cfg.Seed + uint64(vi)*1000 + uint64(c)
+			spec := ChipSpec{
+				Bits:      cfg.ChipBits,
+				WeakScale: cfg.WeakScale,
+				Vendor:    vendor,
+				Seed:      seed,
+			}
+			st, err := spec.NewStation()
+			if err != nil {
+				return nil, err
+			}
+			truth := core.Truth(st, cfg.TargetInterval, 45)
+			prof, err := core.Reach(st, cfg.TargetInterval, cfg.Reach, core.Options{
+				Iterations:              cfg.Iterations,
+				FreshRandomPerIteration: true,
+				Seed:                    seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cr := ChipResult{
+				Vendor:   vendor.Name,
+				Seed:     seed,
+				BER1024:  spec.EffectiveBER(truth.Len()),
+				Coverage: core.Coverage(prof.Failures, truth),
+				FPR:      core.FalsePositiveRate(prof.Failures, truth),
+			}
+			res.Chips = append(res.Chips, cr)
+			bers = append(bers, cr.BER1024)
+			covs = append(covs, cr.Coverage)
+			fprs = append(fprs, cr.FPR)
+			if cr.Coverage < res.CoverageMin {
+				res.CoverageMin = cr.Coverage
+			}
+			if cr.FPR > res.FPRMax {
+				res.FPRMax = cr.FPR
+			}
+			// "Same trend" criterion: reach profiling on this chip
+			// achieves high coverage with a nonzero but bounded FPR.
+			if cr.Coverage < 0.85 || cr.FPR <= 0 || cr.FPR >= 0.95 {
+				res.AllChipsAgree = false
+			}
+		}
+		res.BERMean = stats.Mean(bers)
+		res.BERStd = stats.StdDev(bers)
+		res.CoverageMean = stats.Mean(covs)
+		res.FPRMean = stats.Mean(fprs)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// PopulationTable renders the aggregation.
+func PopulationTable(results []PopulationResult) *Table {
+	t := &Table{
+		Title:  "Population sweep: per-vendor fleets at +250ms reach",
+		Header: []string{"vendor", "chips", "BER@1024 mean", "BER std", "cov mean", "cov min", "FPR mean", "FPR max", "same trend"},
+		Caption: "paper: 368 chips; every chip shows the same coverage/FPR/runtime tradeoff " +
+			"trends (Section 6.1.1)",
+	}
+	for _, r := range results {
+		t.AddRow(r.Vendor, fmt.Sprint(len(r.Chips)),
+			fmt.Sprintf("%.3g", r.BERMean), fmt.Sprintf("%.2g", r.BERStd),
+			fmt.Sprintf("%.4f", r.CoverageMean), fmt.Sprintf("%.4f", r.CoverageMin),
+			fmt.Sprintf("%.3f", r.FPRMean), fmt.Sprintf("%.3f", r.FPRMax),
+			fmt.Sprint(r.AllChipsAgree))
+	}
+	return t
+}

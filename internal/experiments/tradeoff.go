@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"reaper/internal/core"
+	"reaper/internal/memctrl"
+)
+
+// ---------------------------------------------------------------------------
+// Figures 9 and 10: the reach-condition tradeoff space — coverage and false
+// positive contours (Fig 9) and runtime contours (Fig 10) over a grid of
+// (Δ refresh interval, Δ temperature) reach conditions.
+// ---------------------------------------------------------------------------
+
+// Fig9Config drives the grid exploration.
+type Fig9Config struct {
+	Chip           ChipSpec
+	TargetInterval float64
+	TargetTempC    float64
+	DeltaIntervals []float64
+	DeltaTemps     []float64
+	Iterations     int
+	CoverageGoal   float64
+	MaxIterations  int
+	Seed           uint64
+}
+
+// DefaultFig9Config mirrors the paper's grid around a 1024 ms target.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{
+		Chip:           DefaultChipSpec(9),
+		TargetInterval: 1.024,
+		TargetTempC:    45,
+		DeltaIntervals: []float64{0, 0.128, 0.25, 0.5, 1.0},
+		DeltaTemps:     []float64{0, 2.5, 5, 10},
+		Iterations:     16,
+		CoverageGoal:   0.90,
+		MaxIterations:  64,
+		Seed:           9,
+	}
+}
+
+// Fig9Fig10Tradeoff runs the grid; the returned points carry both the
+// Figure 9 quantities (coverage, FPR at 16 iterations) and the Figure 10
+// quantity (runtime to the coverage goal, normalized to brute force).
+func Fig9Fig10Tradeoff(cfg Fig9Config) ([]core.TradeoffPoint, error) {
+	mk := func() (*memctrl.Station, error) { return cfg.Chip.NewStation() }
+	return core.ExploreTradeoffs(mk, core.TradeoffConfig{
+		TargetInterval: cfg.TargetInterval,
+		TargetTempC:    cfg.TargetTempC,
+		DeltaIntervals: cfg.DeltaIntervals,
+		DeltaTemps:     cfg.DeltaTemps,
+		Iterations:     cfg.Iterations,
+		CoverageGoal:   cfg.CoverageGoal,
+		MaxIterations:  cfg.MaxIterations,
+		Options: core.Options{
+			FreshRandomPerIteration: true,
+			Seed:                    cfg.Seed,
+		},
+	})
+}
+
+// Fig9Table renders the coverage/FPR grid.
+func Fig9Table(points []core.TradeoffPoint) *Table {
+	t := &Table{
+		Title:  "Figures 9-10: reach-condition tradeoff grid",
+		Header: []string{"ΔtREFI", "ΔT", "coverage", "FPR", "iters->goal", "runtime rel", "speedup"},
+		Caption: "paper: coverage and FPR grow with reach; runtime-to-goal shrinks " +
+			"(2.5x at ~+250ms with <50% FPR; >3.5x at aggressive reach with >75% FPR)",
+	}
+	for _, p := range points {
+		t.AddRow(
+			Ms(p.Reach.DeltaInterval),
+			fmt.Sprintf("+%.1f°C", p.Reach.DeltaTempC),
+			fmt.Sprintf("%.4f", p.Coverage),
+			fmt.Sprintf("%.3f", p.FalsePositiveRate),
+			fmt.Sprint(p.IterationsToGoal),
+			fmt.Sprintf("%.3f", p.RuntimeRelative),
+			fmt.Sprintf("%.2fx", p.Speedup()),
+		)
+	}
+	return t
+}
+
+// HeadlineResult captures the paper's Section 6.1.2 headline measurement.
+type HeadlineResult struct {
+	Coverage          float64
+	FalsePositiveRate float64
+	Speedup           float64
+	// AggressiveSpeedup and AggressiveFPR are the "+3.5x at >75% FPR"
+	// companion point at the most aggressive reach condition in the grid.
+	AggressiveSpeedup float64
+	AggressiveFPR     float64
+}
+
+// Headline extracts the +250 ms point and the most aggressive point from a
+// tradeoff grid.
+func Headline(points []core.TradeoffPoint) (HeadlineResult, error) {
+	var out HeadlineResult
+	found := false
+	for _, p := range points {
+		if p.Reach.DeltaTempC == 0 && p.Reach.DeltaInterval == 0.25 {
+			out.Coverage = p.Coverage
+			out.FalsePositiveRate = p.FalsePositiveRate
+			out.Speedup = p.Speedup()
+			found = true
+		}
+		if p.FalsePositiveRate > out.AggressiveFPR {
+			out.AggressiveFPR = p.FalsePositiveRate
+			out.AggressiveSpeedup = p.Speedup()
+		}
+	}
+	if !found {
+		return out, fmt.Errorf("experiments: grid lacks the +250ms/+0°C point")
+	}
+	return out, nil
+}

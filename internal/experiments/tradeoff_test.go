@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig9Fig10Grid(t *testing.T) {
+	cfg := DefaultFig9Config()
+	cfg.Chip = smallChip(91)
+	cfg.DeltaIntervals = []float64{0, 0.25, 0.5}
+	cfg.DeltaTemps = []float64{0, 5}
+	cfg.Iterations = 8
+	cfg.MaxIterations = 32
+	points, err := Fig9Fig10Tradeoff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Brute-force reference point: perfect self-coverage, relative
+	// runtime 1.
+	brute := points[0]
+	if brute.Coverage != 1 || brute.FalsePositiveRate != 0 || brute.RuntimeRelative != 1 {
+		t.Errorf("reference point wrong: %+v", brute)
+	}
+	// Along the pure-interval axis, FPR grows.
+	if !(points[1].FalsePositiveRate > 0 && points[2].FalsePositiveRate > points[1].FalsePositiveRate) {
+		t.Errorf("FPR not growing along reach axis: %v, %v",
+			points[1].FalsePositiveRate, points[2].FalsePositiveRate)
+	}
+	// Temperature reach also produces false positives (row 2 of the grid).
+	if points[3].FalsePositiveRate <= 0 {
+		t.Error("+5°C reach produced no false positives")
+	}
+	// Reach profiling is faster to the coverage goal.
+	for _, p := range points[1:] {
+		if p.ReachedGoal && p.RuntimeRelative >= 1.2 {
+			t.Errorf("reach point %+v slower than brute force", p.Reach)
+		}
+	}
+	var sb strings.Builder
+	Fig9Table(points).Render(&sb)
+	if !strings.Contains(sb.String(), "ΔtREFI") {
+		t.Error("table did not render")
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	cfg := DefaultFig9Config()
+	cfg.Chip = smallChip(92)
+	cfg.DeltaIntervals = []float64{0, 0.25, 1.0}
+	cfg.DeltaTemps = []float64{0, 10}
+	cfg.Iterations = 8
+	cfg.MaxIterations = 32
+	points, err := Fig9Fig10Tradeoff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Headline(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper headline: >99% coverage, <~50% FPR, ~2.5x speedup at +250ms.
+	if h.Coverage < 0.97 {
+		t.Errorf("+250ms coverage = %v, want >= 0.97", h.Coverage)
+	}
+	if h.FalsePositiveRate <= 0 || h.FalsePositiveRate > 0.65 {
+		t.Errorf("+250ms FPR = %v, want in (0, 0.65]", h.FalsePositiveRate)
+	}
+	if h.Speedup < 1.5 {
+		t.Errorf("+250ms speedup = %v, want >= 1.5x", h.Speedup)
+	}
+	// Aggressive reach trades FPR for more speed.
+	if h.AggressiveFPR <= h.FalsePositiveRate {
+		t.Errorf("aggressive FPR %v not above headline FPR %v",
+			h.AggressiveFPR, h.FalsePositiveRate)
+	}
+
+	// Missing +250ms point is an error.
+	if _, err := Headline(points[:1]); err == nil {
+		t.Error("missing headline point not reported")
+	}
+}

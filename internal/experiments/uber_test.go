@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestUBERValidationIndependenceHolds(t *testing.T) {
+	cfg := DefaultUBERValidationConfig()
+	cfg.Rounds = 200
+	res, err := UBERValidation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WordsTested == 0 || res.Rounds != 200 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	if res.MeasuredPerRnd <= 0 {
+		t.Fatal("no multi-bit word failures observed; experiment vacuous")
+	}
+	// The independence-based prediction (Equation 5's assumption) must
+	// match the measured joint rate within sampling noise.
+	if res.Ratio < 0.7 || res.Ratio > 1.4 {
+		t.Errorf("measured/predicted multi-bit rate = %.3f (measured %.3f, predicted %.3f per round); "+
+			"Equation 5's independence assumption violated",
+			res.Ratio, res.MeasuredPerRnd, res.PredictedPerRnd)
+	}
+}
+
+func TestUBERValidationNeedsMultiCellWords(t *testing.T) {
+	cfg := DefaultUBERValidationConfig()
+	cfg.Chip.Bits = 1 << 20
+	cfg.Chip.WeakScale = 1 // essentially no weak cells -> no multi-cell words
+	if _, err := UBERValidation(cfg); err == nil {
+		t.Error("expected an error when no multi-cell words exist")
+	}
+}

@@ -1,0 +1,210 @@
+// Package firmware implements REAPER as the paper's Section 7.1 describes
+// it: profiling logic running in the memory controller that periodically
+// re-profiles DRAM online and feeds the discovered failing cells to a
+// retention failure mitigation mechanism, enabling reliable operation at an
+// extended refresh interval.
+//
+// The manager follows the paper's worst-case assumptions: each profiling
+// round takes exclusive DRAM access (a full system pause, charged on the
+// simulated clock), and rounds recur at a cadence derived from the profile
+// longevity model (Equation 7) or fixed by configuration. Profiling
+// overwrites DRAM contents; per the paper's footnote 4, saving and
+// restoring resident data is the system's job — the AfterRound hook is
+// where a host restores its data.
+package firmware
+
+import (
+	"fmt"
+
+	"reaper/internal/core"
+	"reaper/internal/dram"
+	"reaper/internal/longevity"
+	"reaper/internal/memctrl"
+)
+
+// memctrlPass returns the station's full-device pass time.
+func memctrlPass(st *memctrl.Station) float64 {
+	return st.Timing().PassSeconds(st.Device().Geometry().TotalBytes())
+}
+
+// Config configures an online profiling manager.
+type Config struct {
+	// TargetInterval is the refresh interval (seconds) the system runs at.
+	TargetInterval float64
+	// Reach are the profiling deltas above target conditions; zero deltas
+	// give an online brute-force manager.
+	Reach core.ReachConditions
+	// Profiling configures each round (iterations, patterns, seed).
+	Profiling core.Options
+	// CadenceHours fixes the reprofiling period. Zero derives it from
+	// Longevity and AssumedCoverage.
+	CadenceHours float64
+	// Longevity supplies the Equation 7 model when CadenceHours is 0.
+	Longevity *longevity.Model
+	// AssumedCoverage is the coverage credited to each round when
+	// deriving the cadence (real firmware cannot measure true coverage).
+	// Defaults to 0.99.
+	AssumedCoverage float64
+	// SafetyFactor divides the derived longevity to reprofile early.
+	// Defaults to 2.
+	SafetyFactor float64
+	// Install receives each fresh profile (e.g. ArchShield.Install).
+	Install func(*core.FailureSet) error
+	// AfterRound runs after each round completes (refresh restored,
+	// profile installed) — the hook where the host restores resident
+	// data that profiling overwrote.
+	AfterRound func() error
+	// PreserveData makes each round save the device contents to
+	// (notional) secondary storage before profiling and restore them
+	// afterwards, charging two extra data passes per round (the paper's
+	// footnote-4 save/restore, made explicit). With PreserveData set, an
+	// AfterRound data rewrite is unnecessary.
+	PreserveData bool
+}
+
+// Manager runs online profiling on one station.
+type Manager struct {
+	st  *memctrl.Station
+	cfg Config
+
+	profile          *core.FailureSet
+	rounds           int
+	lastRoundEnd     float64 // station clock, seconds
+	profilingSeconds float64
+	startClock       float64
+	cadenceSeconds   float64
+}
+
+// New builds a manager and computes its cadence.
+func New(st *memctrl.Station, cfg Config) (*Manager, error) {
+	if st == nil {
+		return nil, fmt.Errorf("firmware: nil station")
+	}
+	if cfg.TargetInterval <= 0 {
+		return nil, fmt.Errorf("firmware: non-positive target interval")
+	}
+	if cfg.Reach.DeltaInterval < 0 || cfg.Reach.DeltaTempC < 0 {
+		return nil, fmt.Errorf("firmware: negative reach deltas")
+	}
+	if cfg.AssumedCoverage == 0 {
+		cfg.AssumedCoverage = 0.99
+	}
+	if cfg.AssumedCoverage <= 0 || cfg.AssumedCoverage > 1 {
+		return nil, fmt.Errorf("firmware: assumed coverage %v out of (0,1]", cfg.AssumedCoverage)
+	}
+	if cfg.SafetyFactor == 0 {
+		cfg.SafetyFactor = 2
+	}
+	if cfg.SafetyFactor < 1 {
+		return nil, fmt.Errorf("firmware: safety factor must be >= 1")
+	}
+	m := &Manager{st: st, cfg: cfg, profile: core.NewFailureSet(), startClock: st.Clock()}
+	switch {
+	case cfg.CadenceHours > 0:
+		m.cadenceSeconds = cfg.CadenceHours * 3600
+	case cfg.Longevity != nil:
+		d, err := cfg.Longevity.Longevity(cfg.TargetInterval, cfg.AssumedCoverage)
+		if err != nil {
+			return nil, fmt.Errorf("firmware: cannot derive cadence: %w", err)
+		}
+		m.cadenceSeconds = d.Seconds() / cfg.SafetyFactor
+	default:
+		return nil, fmt.Errorf("firmware: need CadenceHours or a Longevity model")
+	}
+	return m, nil
+}
+
+// CadenceHours returns the reprofiling period in hours.
+func (m *Manager) CadenceHours() float64 { return m.cadenceSeconds / 3600 }
+
+// Profile returns the current failing-cell profile (a copy).
+func (m *Manager) Profile() *core.FailureSet { return m.profile.Clone() }
+
+// Rounds returns how many profiling rounds have completed.
+func (m *Manager) Rounds() int { return m.rounds }
+
+// ProfilingSeconds returns the simulated time consumed by profiling so far.
+func (m *Manager) ProfilingSeconds() float64 { return m.profilingSeconds }
+
+// OverheadFraction returns the fraction of elapsed simulated time spent
+// profiling — the empirical counterpart of the paper's Figure 11.
+func (m *Manager) OverheadFraction() float64 {
+	elapsed := m.st.Clock() - m.startClock
+	if elapsed <= 0 {
+		return 0
+	}
+	return m.profilingSeconds / elapsed
+}
+
+// Due reports whether a profiling round is needed now (no profile yet, or
+// the current one has outlived the cadence).
+func (m *Manager) Due() bool {
+	if m.rounds == 0 {
+		return true
+	}
+	return m.st.Clock()-m.lastRoundEnd >= m.cadenceSeconds
+}
+
+// Tick runs one profiling round if one is due. It returns whether a round
+// ran. After the round the station's refresh interval is restored to the
+// target and the Install and AfterRound hooks have run.
+func (m *Manager) Tick() (bool, error) {
+	if !m.Due() {
+		return false, nil
+	}
+	start := m.st.Clock()
+	var snap *dram.ContentSnapshot
+	if m.cfg.PreserveData {
+		snap = m.st.SaveData()
+	}
+	res, err := core.Reach(m.st, m.cfg.TargetInterval, m.cfg.Reach, m.cfg.Profiling)
+	if err != nil {
+		return false, err
+	}
+	if snap != nil {
+		if err := m.st.RestoreData(snap); err != nil {
+			return false, err
+		}
+		// The save and restore passes are part of the round's cost.
+		m.profilingSeconds += 2 * memctrlPass(m.st)
+	}
+	// Each round replaces the working profile with the union of old and
+	// new discoveries: cells once seen failing stay mitigated (dropping
+	// them would re-expose VRT cells currently in their long state).
+	m.profile = m.profile.Union(res.Failures)
+	m.profilingSeconds += res.RuntimeSeconds()
+	m.rounds++
+	m.lastRoundEnd = m.st.Clock()
+
+	// Resume extended-interval operation.
+	m.st.SetRefreshInterval(m.cfg.TargetInterval)
+	if m.cfg.Install != nil {
+		if err := m.cfg.Install(m.profile); err != nil {
+			return true, fmt.Errorf("firmware: install: %w", err)
+		}
+	}
+	if m.cfg.AfterRound != nil {
+		if err := m.cfg.AfterRound(); err != nil {
+			return true, fmt.Errorf("firmware: after-round hook: %w", err)
+		}
+	}
+	_ = start
+	return true, nil
+}
+
+// RunFor advances simulated time by simHours, ticking the manager every
+// stepSeconds. The system runs at the target refresh interval between
+// rounds.
+func (m *Manager) RunFor(simHours, stepSeconds float64) error {
+	if stepSeconds <= 0 {
+		return fmt.Errorf("firmware: non-positive step")
+	}
+	end := m.st.Clock() + simHours*3600
+	for m.st.Clock() < end {
+		if _, err := m.Tick(); err != nil {
+			return err
+		}
+		m.st.Wait(stepSeconds)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package memctrl
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the command-bus tracing and verification that stands
+// in for the paper's logic analyzer (Section 4: "Our infrastructure
+// provides precise control over DRAM commands, which we verified via a
+// logic analyzer by probing the DRAM command bus"). When tracing is
+// enabled, every station operation emits command records; the Verifier
+// checks the invariants a retention test depends on — above all, that NO
+// refresh activity occurs inside a refresh-disabled wait window, and that
+// data passes take the time the configured bandwidth implies.
+
+// CmdKind enumerates traced command-bus events.
+type CmdKind int
+
+const (
+	// CmdWritePass is a whole-device data-pattern write pass.
+	CmdWritePass CmdKind = iota
+	// CmdReadPass is a whole-device read-and-compare pass.
+	CmdReadPass
+	// CmdWriteWord / CmdReadWord are single random accesses.
+	CmdWriteWord
+	CmdReadWord
+	// CmdRefreshOn / CmdRefreshOff mark refresh-control transitions; the
+	// Interval field of CmdRefreshOn carries the new refresh interval.
+	CmdRefreshOn
+	CmdRefreshOff
+	// CmdWait marks an idle/wait window; Interval carries its length.
+	CmdWait
+)
+
+func (k CmdKind) String() string {
+	switch k {
+	case CmdWritePass:
+		return "WRITE-PASS"
+	case CmdReadPass:
+		return "READ-PASS"
+	case CmdWriteWord:
+		return "WRITE"
+	case CmdReadWord:
+		return "READ"
+	case CmdRefreshOn:
+		return "REF-ON"
+	case CmdRefreshOff:
+		return "REF-OFF"
+	case CmdWait:
+		return "WAIT"
+	default:
+		return fmt.Sprintf("CmdKind(%d)", int(k))
+	}
+}
+
+// Command is one traced command-bus event.
+type Command struct {
+	Kind CmdKind
+	// Start and End are simulated seconds.
+	Start, End float64
+	// Interval is kind-specific (refresh interval or wait length).
+	Interval float64
+}
+
+// Trace is a bounded in-memory command log.
+type Trace struct {
+	cmds []Command
+	max  int
+}
+
+// NewTrace builds a trace keeping at most max commands (older entries are
+// dropped). max <= 0 means unbounded.
+func NewTrace(max int) *Trace { return &Trace{max: max} }
+
+func (t *Trace) add(c Command) {
+	if t == nil {
+		return
+	}
+	t.cmds = append(t.cmds, c)
+	if t.max > 0 && len(t.cmds) > t.max {
+		t.cmds = t.cmds[len(t.cmds)-t.max:]
+	}
+}
+
+// Commands returns the recorded log.
+func (t *Trace) Commands() []Command { return append([]Command(nil), t.cmds...) }
+
+// Len returns the number of recorded commands.
+func (t *Trace) Len() int { return len(t.cmds) }
+
+// AttachTrace starts recording the station's command bus into tr. Passing
+// nil detaches.
+func (s *Station) AttachTrace(tr *Trace) { s.trace = tr }
+
+// VerifyTrace checks the recorded command stream against the station's
+// timing configuration and the retention-test invariants:
+//
+//  1. commands are totally ordered in time and never overlap;
+//  2. every whole-device pass takes exactly the bandwidth-implied time;
+//  3. refresh-control transitions alternate consistently (no double
+//     enable/disable);
+//  4. no wait window while refresh is disabled contains refresh activity
+//     (the invariant the paper's logic analyzer existed to establish).
+//
+// It returns nil when every invariant holds.
+func VerifyTrace(tr *Trace, timing Timing, deviceBytes int64) error {
+	if tr == nil {
+		return fmt.Errorf("memctrl: nil trace")
+	}
+	pass := timing.PassSeconds(deviceBytes)
+	prevEnd := math.Inf(-1)
+	refreshOn := true // stations power up with refresh enabled
+	for i, c := range tr.cmds {
+		if c.End < c.Start {
+			return fmt.Errorf("memctrl: command %d (%v) ends before it starts", i, c.Kind)
+		}
+		if c.Start < prevEnd-1e-12 {
+			return fmt.Errorf("memctrl: command %d (%v) overlaps its predecessor", i, c.Kind)
+		}
+		prevEnd = c.End
+		switch c.Kind {
+		case CmdWritePass, CmdReadPass:
+			if math.Abs((c.End-c.Start)-pass) > 1e-9 {
+				return fmt.Errorf("memctrl: command %d (%v) took %vs, want the bandwidth-implied %vs",
+					i, c.Kind, c.End-c.Start, pass)
+			}
+		case CmdRefreshOff:
+			if !refreshOn {
+				return fmt.Errorf("memctrl: command %d disables refresh twice", i)
+			}
+			refreshOn = false
+		case CmdRefreshOn:
+			if refreshOn {
+				return fmt.Errorf("memctrl: command %d enables refresh twice", i)
+			}
+			if c.Interval <= 0 {
+				return fmt.Errorf("memctrl: command %d enables refresh with interval %v", i, c.Interval)
+			}
+			refreshOn = true
+		case CmdWait:
+			if c.Interval < 0 {
+				return fmt.Errorf("memctrl: command %d waits negative time", i)
+			}
+		}
+	}
+	return nil
+}
+
+// WaitWindows extracts the refresh-disabled wait windows from a trace: the
+// retention windows of Algorithm 1. Each returned value is the window
+// length in seconds.
+func (t *Trace) WaitWindows() []float64 {
+	var out []float64
+	refreshOn := true
+	for _, c := range t.cmds {
+		switch c.Kind {
+		case CmdRefreshOff:
+			refreshOn = false
+		case CmdRefreshOn:
+			refreshOn = true
+		case CmdWait:
+			if !refreshOn {
+				out = append(out, c.Interval)
+			}
+		}
+	}
+	return out
+}

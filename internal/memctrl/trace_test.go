@@ -1,0 +1,163 @@
+package memctrl
+
+import (
+	"testing"
+
+	"reaper/internal/patterns"
+)
+
+func TestTraceRecordsAlgorithm1Loop(t *testing.T) {
+	st := testStation(t, false)
+	tr := NewTrace(0)
+	st.AttachTrace(tr)
+
+	st.WritePattern(patterns.Checkerboard())
+	st.DisableRefresh()
+	st.Wait(1.024)
+	st.EnableRefresh()
+	st.ReadCompare()
+
+	cmds := tr.Commands()
+	wantKinds := []CmdKind{CmdWritePass, CmdRefreshOff, CmdWait, CmdRefreshOn, CmdReadPass}
+	if len(cmds) != len(wantKinds) {
+		t.Fatalf("got %d commands, want %d: %v", len(cmds), len(wantKinds), cmds)
+	}
+	for i, k := range wantKinds {
+		if cmds[i].Kind != k {
+			t.Errorf("command %d = %v, want %v", i, cmds[i].Kind, k)
+		}
+	}
+	if err := VerifyTrace(tr, st.Timing(), st.Device().Geometry().TotalBytes()); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	windows := tr.WaitWindows()
+	if len(windows) != 1 || windows[0] != 1.024 {
+		t.Errorf("wait windows = %v, want [1.024]", windows)
+	}
+}
+
+func TestTraceVerifiesFullProfilingRun(t *testing.T) {
+	// The headline use: verify that an entire profiling run toggles
+	// refresh and paces commands exactly as Algorithm 1 demands — the
+	// simulated equivalent of the paper's logic-analyzer check.
+	st := testStation(t, false)
+	tr := NewTrace(0)
+	st.AttachTrace(tr)
+	// Algorithm 1 inlined: 2 iterations over the 12 standard patterns.
+	for it := 0; it < 2; it++ {
+		for _, p := range patterns.StandardWithInverses(uint64(it)) {
+			st.WritePattern(p)
+			st.DisableRefresh()
+			st.Wait(0.512)
+			st.EnableRefresh()
+			st.ReadCompare()
+		}
+	}
+	if err := VerifyTrace(tr, st.Timing(), st.Device().Geometry().TotalBytes()); err != nil {
+		t.Fatalf("profiling trace failed verification: %v", err)
+	}
+	// 2 iterations x 12 patterns: every retention window is 512ms.
+	windows := tr.WaitWindows()
+	if len(windows) != 24 {
+		t.Fatalf("got %d retention windows, want 24", len(windows))
+	}
+	for _, w := range windows {
+		if w != 0.512 {
+			t.Fatalf("retention window = %v, want 0.512", w)
+		}
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 10; i++ {
+		tr.add(Command{Kind: CmdWait, Start: float64(i), End: float64(i)})
+	}
+	if tr.Len() != 3 {
+		t.Errorf("bounded trace kept %d commands, want 3", tr.Len())
+	}
+	if tr.Commands()[0].Start != 7 {
+		t.Error("bounded trace did not keep the newest commands")
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	st := testStation(t, false)
+	// No trace attached: operations must not panic.
+	st.WritePattern(patterns.Solid0())
+	st.DisableRefresh()
+	st.Wait(0.1)
+	st.EnableRefresh()
+	st.ReadCompare()
+}
+
+func TestVerifyTraceCatchesViolations(t *testing.T) {
+	timing := DefaultTiming()
+	const bytes = 2 << 30
+	pass := timing.PassSeconds(bytes)
+
+	if err := VerifyTrace(nil, timing, bytes); err == nil {
+		t.Error("nil trace accepted")
+	}
+
+	// Overlapping commands.
+	tr := NewTrace(0)
+	tr.add(Command{Kind: CmdWritePass, Start: 0, End: pass})
+	tr.add(Command{Kind: CmdReadPass, Start: pass / 2, End: pass/2 + pass})
+	if err := VerifyTrace(tr, timing, bytes); err == nil {
+		t.Error("overlapping commands accepted")
+	}
+
+	// Pass with the wrong duration (too fast for the bus).
+	tr = NewTrace(0)
+	tr.add(Command{Kind: CmdWritePass, Start: 0, End: pass / 2})
+	if err := VerifyTrace(tr, timing, bytes); err == nil {
+		t.Error("impossibly fast pass accepted")
+	}
+
+	// Double refresh disable.
+	tr = NewTrace(0)
+	tr.add(Command{Kind: CmdRefreshOff, Start: 0, End: 0})
+	tr.add(Command{Kind: CmdRefreshOff, Start: 1, End: 1})
+	if err := VerifyTrace(tr, timing, bytes); err == nil {
+		t.Error("double refresh-off accepted")
+	}
+
+	// Enable while already enabled (power-up state is enabled).
+	tr = NewTrace(0)
+	tr.add(Command{Kind: CmdRefreshOn, Start: 0, End: 0, Interval: 0.064})
+	if err := VerifyTrace(tr, timing, bytes); err == nil {
+		t.Error("double refresh-on accepted")
+	}
+
+	// Refresh enabled with a nonsense interval.
+	tr = NewTrace(0)
+	tr.add(Command{Kind: CmdRefreshOff, Start: 0, End: 0})
+	tr.add(Command{Kind: CmdRefreshOn, Start: 1, End: 1, Interval: 0})
+	if err := VerifyTrace(tr, timing, bytes); err == nil {
+		t.Error("zero refresh interval accepted")
+	}
+
+	// Command ending before it starts.
+	tr = NewTrace(0)
+	tr.add(Command{Kind: CmdWait, Start: 5, End: 4, Interval: 1})
+	if err := VerifyTrace(tr, timing, bytes); err == nil {
+		t.Error("time-reversed command accepted")
+	}
+}
+
+func TestCmdKindStrings(t *testing.T) {
+	kinds := []CmdKind{CmdWritePass, CmdReadPass, CmdWriteWord, CmdReadWord,
+		CmdRefreshOn, CmdRefreshOff, CmdWait}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad or duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if CmdKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

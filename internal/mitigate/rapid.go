@@ -1,0 +1,174 @@
+package mitigate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reaper/internal/core"
+	"reaper/internal/dram"
+)
+
+// RAPID implements retention-aware placement in DRAM (Venkatesan et al.,
+// HPCA'06; the paper's Section 3.1): software allocates data to the rows
+// with the longest retention first, and the refresh interval tracks the
+// weakest *allocated* row — so a lightly loaded system refreshes very
+// rarely, and the interval degrades gracefully as weaker rows are pressed
+// into service.
+type RAPID struct {
+	geom dram.Geometry
+	// safeInterval[r] is the longest profiled-safe refresh interval for
+	// global row r (+Inf when the row never showed a failure).
+	safeInterval []float64
+	// strongestFirst is the allocation order: row indices sorted by
+	// descending safe interval.
+	strongestFirst []uint32
+	nextAlloc      int
+	allocated      map[uint32]bool
+	freed          []uint32 // freed rows, reused before advancing nextAlloc
+	// defaultInterval is the JEDEC interval used when nothing better is
+	// known.
+	defaultInterval float64
+}
+
+// NewRAPID builds an allocator. levels are the profiled refresh intervals
+// in ascending order; profileAt(t) returns the failing cells at interval t.
+// A row's safe interval is the longest level strictly below its first
+// failing level (+Inf if it never fails; defaultInterval if it fails even
+// at the lowest profiled level).
+func NewRAPID(geom dram.Geometry, defaultInterval float64, levels []float64, profileAt func(float64) *core.FailureSet) (*RAPID, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if defaultInterval <= 0 {
+		return nil, fmt.Errorf("mitigate: RAPID default interval must be positive")
+	}
+	if len(levels) == 0 || !sort.Float64sAreSorted(levels) || levels[0] <= 0 {
+		return nil, fmt.Errorf("mitigate: RAPID needs ascending positive levels, got %v", levels)
+	}
+	if profileAt == nil {
+		return nil, fmt.Errorf("mitigate: nil profile source")
+	}
+	r := &RAPID{
+		geom:            geom,
+		safeInterval:    make([]float64, geom.TotalRows()),
+		allocated:       make(map[uint32]bool),
+		defaultInterval: defaultInterval,
+	}
+	for i := range r.safeInterval {
+		r.safeInterval[i] = math.Inf(1)
+	}
+	// Walk levels from longest to shortest so each row ends at the
+	// smallest level it fails at.
+	firstFail := make([]float64, geom.TotalRows())
+	for i := range firstFail {
+		firstFail[i] = math.Inf(1)
+	}
+	for _, level := range levels {
+		prof := profileAt(level)
+		if prof == nil {
+			return nil, fmt.Errorf("mitigate: nil profile for level %v", level)
+		}
+		for _, bit := range prof.Sorted() {
+			a := geom.AddrOf(bit)
+			gr := geom.GlobalRow(a.Bank, a.Row)
+			if level < firstFail[gr] {
+				firstFail[gr] = level
+			}
+		}
+	}
+	for gr := range r.safeInterval {
+		ff := firstFail[gr]
+		if math.IsInf(ff, 1) {
+			continue // never failed: stays +Inf
+		}
+		// Longest profiled level strictly below the first failure.
+		safe := defaultInterval
+		for _, level := range levels {
+			if level < ff {
+				safe = level
+			}
+		}
+		r.safeInterval[gr] = safe
+	}
+	r.strongestFirst = make([]uint32, geom.TotalRows())
+	for i := range r.strongestFirst {
+		r.strongestFirst[i] = uint32(i)
+	}
+	sort.SliceStable(r.strongestFirst, func(i, j int) bool {
+		return r.safeInterval[r.strongestFirst[i]] > r.safeInterval[r.strongestFirst[j]]
+	})
+	return r, nil
+}
+
+// Allocate reserves the n strongest available rows and returns their global
+// row indices. It fails when fewer than n rows remain.
+func (r *RAPID) Allocate(n int) ([]uint32, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mitigate: RAPID allocation size must be positive")
+	}
+	var out []uint32
+	// Reuse freed rows first (they are at least as strong as the next
+	// fresh row was when they were handed out; re-sort for strength).
+	sort.SliceStable(r.freed, func(i, j int) bool {
+		return r.safeInterval[r.freed[i]] > r.safeInterval[r.freed[j]]
+	})
+	for len(out) < n && len(r.freed) > 0 {
+		row := r.freed[0]
+		r.freed = r.freed[1:]
+		r.allocated[row] = true
+		out = append(out, row)
+	}
+	for len(out) < n && r.nextAlloc < len(r.strongestFirst) {
+		row := r.strongestFirst[r.nextAlloc]
+		r.nextAlloc++
+		if r.allocated[row] {
+			continue
+		}
+		r.allocated[row] = true
+		out = append(out, row)
+	}
+	if len(out) < n {
+		// Roll back the partial allocation.
+		for _, row := range out {
+			delete(r.allocated, row)
+			r.freed = append(r.freed, row)
+		}
+		return nil, fmt.Errorf("mitigate: RAPID out of rows (%d requested, %d available)",
+			n, len(out))
+	}
+	return out, nil
+}
+
+// Free releases rows back to the allocator.
+func (r *RAPID) Free(rows []uint32) {
+	for _, row := range rows {
+		if r.allocated[row] {
+			delete(r.allocated, row)
+			r.freed = append(r.freed, row)
+		}
+	}
+}
+
+// AllocatedRows returns how many rows are currently allocated.
+func (r *RAPID) AllocatedRows() int { return len(r.allocated) }
+
+// SafeRefreshInterval returns the refresh interval the current allocation
+// permits: the minimum safe interval across allocated rows. With nothing
+// allocated it returns maxInterval (the system's cap for an idle memory),
+// and the result is also capped at maxInterval.
+func (r *RAPID) SafeRefreshInterval(maxInterval float64) float64 {
+	min := math.Inf(1)
+	for row := range r.allocated {
+		if s := r.safeInterval[row]; s < min {
+			min = s
+		}
+	}
+	if min > maxInterval {
+		return maxInterval
+	}
+	return min
+}
+
+// RowSafeInterval exposes one row's profiled-safe interval.
+func (r *RAPID) RowSafeInterval(row uint32) float64 { return r.safeInterval[row] }

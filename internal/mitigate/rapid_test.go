@@ -1,0 +1,182 @@
+package mitigate
+
+import (
+	"math"
+	"testing"
+
+	"reaper/internal/core"
+	"reaper/internal/dram"
+)
+
+// rapidFixture builds a RAPID over a tiny geometry with hand-made profiles:
+// row 0 fails at 128ms, row 1 at 256ms, rows 2+ never fail.
+func rapidFixture(t *testing.T) (*RAPID, dram.Geometry) {
+	t.Helper()
+	geom := dram.Geometry{Banks: 1, RowsPerBank: 8, WordsPerRow: 4}
+	failAt := map[float64]*core.FailureSet{
+		0.128: core.NewFailureSet(geom.BitIndex(dram.Addr{Row: 0})),
+		0.256: core.NewFailureSet(
+			geom.BitIndex(dram.Addr{Row: 0}),
+			geom.BitIndex(dram.Addr{Row: 1})),
+		0.512: core.NewFailureSet(
+			geom.BitIndex(dram.Addr{Row: 0}),
+			geom.BitIndex(dram.Addr{Row: 1})),
+	}
+	r, err := NewRAPID(geom, 0.064, []float64{0.128, 0.256, 0.512},
+		func(l float64) *core.FailureSet { return failAt[l] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, geom
+}
+
+func TestNewRAPIDValidation(t *testing.T) {
+	geom := dram.Geometry{Banks: 1, RowsPerBank: 4, WordsPerRow: 2}
+	empty := func(float64) *core.FailureSet { return core.NewFailureSet() }
+	if _, err := NewRAPID(dram.Geometry{}, 0.064, []float64{0.1}, empty); err == nil {
+		t.Error("bad geometry not rejected")
+	}
+	if _, err := NewRAPID(geom, 0, []float64{0.1}, empty); err == nil {
+		t.Error("zero default interval not rejected")
+	}
+	if _, err := NewRAPID(geom, 0.064, nil, empty); err == nil {
+		t.Error("no levels not rejected")
+	}
+	if _, err := NewRAPID(geom, 0.064, []float64{0.2, 0.1}, empty); err == nil {
+		t.Error("descending levels not rejected")
+	}
+	if _, err := NewRAPID(geom, 0.064, []float64{0.1}, nil); err == nil {
+		t.Error("nil profile source not rejected")
+	}
+}
+
+func TestRAPIDSafeIntervals(t *testing.T) {
+	r, _ := rapidFixture(t)
+	// Row 0 fails at the lowest level: only the default is safe.
+	if got := r.RowSafeInterval(0); got != 0.064 {
+		t.Errorf("row 0 safe interval = %v, want 0.064", got)
+	}
+	// Row 1 first fails at 256ms: 128ms is its longest safe level.
+	if got := r.RowSafeInterval(1); got != 0.128 {
+		t.Errorf("row 1 safe interval = %v, want 0.128", got)
+	}
+	// Clean rows are unbounded.
+	if got := r.RowSafeInterval(5); !math.IsInf(got, 1) {
+		t.Errorf("clean row safe interval = %v, want +Inf", got)
+	}
+}
+
+func TestRAPIDAllocatesStrongestFirst(t *testing.T) {
+	r, _ := rapidFixture(t)
+	rows, err := r.Allocate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The six clean rows (2..7) must come before the weak ones.
+	for _, row := range rows {
+		if row == 0 || row == 1 {
+			t.Fatalf("weak row %d allocated while clean rows remained", row)
+		}
+	}
+	// With only clean rows allocated, the system can cap its own interval.
+	if got := r.SafeRefreshInterval(2.048); got != 2.048 {
+		t.Errorf("safe interval with clean rows = %v, want the 2.048 cap", got)
+	}
+	// Allocating more pulls in row 1 (128ms) then row 0 (64ms).
+	if _, err := r.Allocate(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SafeRefreshInterval(2.048); got != 0.128 {
+		t.Errorf("safe interval after 7 rows = %v, want 0.128", got)
+	}
+	if _, err := r.Allocate(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SafeRefreshInterval(2.048); got != 0.064 {
+		t.Errorf("safe interval after all rows = %v, want 0.064", got)
+	}
+	if r.AllocatedRows() != 8 {
+		t.Errorf("allocated = %d, want 8", r.AllocatedRows())
+	}
+}
+
+func TestRAPIDExhaustionAndRollback(t *testing.T) {
+	r, _ := rapidFixture(t)
+	if _, err := r.Allocate(9); err == nil {
+		t.Error("over-allocation not rejected")
+	}
+	// The failed allocation must not leak rows.
+	if r.AllocatedRows() != 0 {
+		t.Errorf("failed allocation leaked %d rows", r.AllocatedRows())
+	}
+	if _, err := r.Allocate(8); err != nil {
+		t.Errorf("full allocation after rollback failed: %v", err)
+	}
+	if _, err := r.Allocate(0); err == nil {
+		t.Error("zero-size allocation not rejected")
+	}
+}
+
+func TestRAPIDFreeAndReuse(t *testing.T) {
+	r, _ := rapidFixture(t)
+	rows, err := r.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Free everything; re-allocating a small working set must again pick
+	// strong rows and recover a long safe interval.
+	r.Free(rows)
+	if r.AllocatedRows() != 0 {
+		t.Errorf("free left %d rows allocated", r.AllocatedRows())
+	}
+	small, err := r.Allocate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range small {
+		if row == 0 || row == 1 {
+			t.Fatalf("weak row %d reused while clean rows were free", row)
+		}
+	}
+	if got := r.SafeRefreshInterval(1.024); got != 1.024 {
+		t.Errorf("safe interval after reuse = %v, want the cap", got)
+	}
+	// Freeing unallocated rows is harmless.
+	r.Free([]uint32{0})
+}
+
+func TestRAPIDWithRealProfiles(t *testing.T) {
+	st := newStation(t, 9)
+	geom := st.Device().Geometry()
+	levels := []float64{0.512, 1.024, 2.048}
+	profiles := make(map[float64]*core.FailureSet)
+	for _, l := range levels {
+		res, err := core.Reach(st, l, core.ReachConditions{DeltaInterval: 0.25},
+			core.Options{Iterations: 8, FreshRandomPerIteration: true, Seed: uint64(l * 1e4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles[l] = res.Failures
+	}
+	r, err := NewRAPID(geom, 0.064, levels, func(l float64) *core.FailureSet { return profiles[l] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate half the rows: RAPID's premise is that a half-full memory
+	// runs at a much longer interval than the worst-case 64ms.
+	if _, err := r.Allocate(geom.TotalRows() / 2); err != nil {
+		t.Fatal(err)
+	}
+	safe := r.SafeRefreshInterval(2.048)
+	if safe < 0.512 {
+		t.Errorf("half-allocated safe interval = %v, want >= 0.512", safe)
+	}
+	// A full memory is limited by its weakest row.
+	if _, err := r.Allocate(geom.TotalRows() - geom.TotalRows()/2); err != nil {
+		t.Fatal(err)
+	}
+	full := r.SafeRefreshInterval(2.048)
+	if full > safe {
+		t.Errorf("full allocation interval %v above half allocation %v", full, safe)
+	}
+}

@@ -1,0 +1,98 @@
+package mitigate
+
+import (
+	"fmt"
+
+	"reaper/internal/core"
+	"reaper/internal/dram"
+)
+
+// RowMapOut is the simplest mitigation the paper sketches in Section 1: the
+// memory controller removes every row containing a failing cell from the
+// system address space. Its cost is lost capacity, which makes it the
+// mechanism most intolerant to false positives (each false positive can
+// discard an entire healthy row).
+type RowMapOut struct {
+	geom     dram.Geometry
+	excluded map[uint32]struct{}
+}
+
+// NewRowMapOut builds an empty map-out table for the geometry.
+func NewRowMapOut(geom dram.Geometry) (*RowMapOut, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &RowMapOut{geom: geom, excluded: make(map[uint32]struct{})}, nil
+}
+
+// Exclude removes every row containing a cell from the failure set. It
+// returns the number of newly excluded rows.
+func (m *RowMapOut) Exclude(failures *core.FailureSet) int {
+	added := 0
+	for _, bit := range failures.Sorted() {
+		a := m.geom.AddrOf(bit)
+		gr := m.geom.GlobalRow(a.Bank, a.Row)
+		if _, done := m.excluded[gr]; !done {
+			m.excluded[gr] = struct{}{}
+			added++
+		}
+	}
+	return added
+}
+
+// Usable reports whether a row is still part of the address space.
+func (m *RowMapOut) Usable(bank, row int) bool {
+	_, gone := m.excluded[m.geom.GlobalRow(bank, row)]
+	return !gone
+}
+
+// LostRows returns how many rows have been mapped out.
+func (m *RowMapOut) LostRows() int { return len(m.excluded) }
+
+// CapacityLoss returns the fraction of device capacity mapped out.
+func (m *RowMapOut) CapacityLoss() float64 {
+	return float64(len(m.excluded)) / float64(m.geom.TotalRows())
+}
+
+// CellRemap is a SECRET-style mechanism (Lin et al., ICCD'12; the paper's
+// Section 3.1): individual failing cells are remapped to known-good spare
+// cells, so the cost per failure — true or false positive — is exactly one
+// spare cell.
+type CellRemap struct {
+	spares int
+	remap  map[uint64]int // failing bit -> spare index
+}
+
+// NewCellRemap builds a remapper with the given spare-cell budget.
+func NewCellRemap(spares int) (*CellRemap, error) {
+	if spares <= 0 {
+		return nil, fmt.Errorf("mitigate: spare budget must be positive")
+	}
+	return &CellRemap{spares: spares, remap: make(map[uint64]int)}, nil
+}
+
+// Install allocates a spare for every cell in the failure set, returning an
+// error when the budget is exhausted. Installing twice is idempotent for
+// already-remapped cells.
+func (c *CellRemap) Install(failures *core.FailureSet) error {
+	for _, bit := range failures.Sorted() {
+		if _, done := c.remap[bit]; done {
+			continue
+		}
+		if len(c.remap) >= c.spares {
+			return fmt.Errorf("mitigate: spare cells exhausted after %d remaps", len(c.remap))
+		}
+		c.remap[bit] = len(c.remap)
+	}
+	return nil
+}
+
+// Redirect returns the spare index for a failing bit, if remapped.
+func (c *CellRemap) Redirect(bit uint64) (int, bool) {
+	idx, ok := c.remap[bit]
+	return idx, ok
+}
+
+// Used and Capacity report spare usage.
+func (c *CellRemap) Used() int     { return len(c.remap) }
+func (c *CellRemap) Capacity() int { return c.spares }

@@ -1,0 +1,236 @@
+// Package module models a multi-chip DRAM module: several devices sharing
+// one test controller, clock, and (optional) thermal chamber, as in the
+// paper's infrastructure (Section 7 evaluates modules of 32 chips). A
+// Module implements core.TestStation, so every profiler in this repository
+// runs on it unchanged; failing cells are reported in a module-global
+// address space (chip index folded into the high bits).
+package module
+
+import (
+	"fmt"
+	"sort"
+
+	"reaper/internal/core"
+	"reaper/internal/dram"
+	"reaper/internal/memctrl"
+	"reaper/internal/thermal"
+)
+
+// chipShift positions the chip index in the global bit address. 48 bits of
+// per-chip address space covers any realistic device.
+const chipShift = 48
+
+// GlobalBit composes a module-global cell address.
+func GlobalBit(chip int, bit uint64) uint64 {
+	return uint64(chip)<<chipShift | bit
+}
+
+// SplitBit decomposes a module-global cell address.
+func SplitBit(global uint64) (chip int, bit uint64) {
+	return int(global >> chipShift), global & (1<<chipShift - 1)
+}
+
+// Module is a set of identical-geometry devices behind one controller.
+type Module struct {
+	devs    []*dram.Device
+	chamber *thermal.Chamber
+	clock   memctrl.Clock
+	timing  memctrl.Timing
+	refresh bool
+	stats   memctrl.Stats
+	ambient float64
+}
+
+// New builds a module over the devices. All devices must share a geometry.
+// chamber may be nil (isothermal, instantaneous temperature changes).
+func New(devs []*dram.Device, chamber *thermal.Chamber, timing memctrl.Timing) (*Module, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("module: no devices")
+	}
+	geom := devs[0].Geometry()
+	if geom.TotalBits() >= 1<<chipShift {
+		return nil, fmt.Errorf("module: device too large for the global address space")
+	}
+	for i, d := range devs {
+		if d == nil {
+			return nil, fmt.Errorf("module: nil device %d", i)
+		}
+		if d.Geometry() != geom {
+			return nil, fmt.Errorf("module: device %d geometry %v differs from %v",
+				i, d.Geometry(), geom)
+		}
+	}
+	if timing.BandwidthBytesPerSec <= 0 || timing.Efficiency <= 0 || timing.Efficiency > 1 ||
+		timing.DefaultTREFI <= 0 {
+		return nil, fmt.Errorf("module: invalid timing %+v", timing)
+	}
+	m := &Module{devs: devs, chamber: chamber, timing: timing, refresh: true,
+		ambient: devs[0].Temperature()}
+	for _, d := range devs {
+		d.SetAutoRefresh(timing.DefaultTREFI)
+	}
+	m.syncTemp()
+	return m, nil
+}
+
+// Chips returns the number of devices in the module.
+func (m *Module) Chips() int { return len(m.devs) }
+
+// Device returns one chip.
+func (m *Module) Device(i int) *dram.Device { return m.devs[i] }
+
+// TotalBytes returns the module capacity.
+func (m *Module) TotalBytes() int64 {
+	return int64(len(m.devs)) * m.devs[0].Geometry().TotalBytes()
+}
+
+// Clock returns simulated seconds.
+func (m *Module) Clock() float64 { return m.clock.Now() }
+
+// Stats returns the accumulated time accounting.
+func (m *Module) Stats() memctrl.Stats { return m.stats }
+
+func (m *Module) advance(d float64) {
+	m.clock.Advance(d)
+	if m.chamber != nil {
+		m.chamber.Step(d)
+	}
+	m.syncTemp()
+}
+
+func (m *Module) syncTemp() {
+	t := m.ambient
+	if m.chamber != nil {
+		t = m.chamber.DeviceTemp() - 15
+	}
+	for _, d := range m.devs {
+		d.SetTemperature(t)
+	}
+}
+
+// Ambient returns the module's ambient temperature.
+func (m *Module) Ambient() float64 {
+	if m.chamber == nil {
+		return m.ambient
+	}
+	return m.devs[0].Temperature()
+}
+
+// SetAmbient changes the ambient temperature (settling through the chamber
+// when present).
+func (m *Module) SetAmbient(tempC float64) float64 {
+	if m.chamber == nil {
+		m.ambient = tempC
+		m.syncTemp()
+		return tempC
+	}
+	start := m.clock.Now()
+	m.chamber.SetTarget(tempC)
+	for !m.chamber.Settled(0.25) && m.clock.Now()-start < 3600 {
+		m.advance(1)
+	}
+	m.advance(30)
+	m.stats.IdleSeconds += m.clock.Now() - start
+	return m.chamber.Target()
+}
+
+// DisableRefresh pauses auto-refresh on every chip.
+func (m *Module) DisableRefresh() {
+	m.refresh = false
+	for _, d := range m.devs {
+		d.SetAutoRefresh(0)
+	}
+}
+
+// EnableRefresh resumes auto-refresh at the default interval, locking in
+// any failures that accumulated while paused (see memctrl.Station).
+func (m *Module) EnableRefresh() {
+	if !m.refresh {
+		for _, d := range m.devs {
+			d.RestoreAll(m.clock.Now())
+		}
+	}
+	m.refresh = true
+	for _, d := range m.devs {
+		d.SetAutoRefresh(m.timing.DefaultTREFI)
+	}
+}
+
+// SetRefreshInterval runs auto-refresh at a non-default interval on every
+// chip; interval <= 0 disables refresh.
+func (m *Module) SetRefreshInterval(interval float64) {
+	if interval <= 0 {
+		m.DisableRefresh()
+		return
+	}
+	if !m.refresh {
+		for _, d := range m.devs {
+			d.RestoreAll(m.clock.Now())
+		}
+	}
+	m.refresh = true
+	for _, d := range m.devs {
+		d.SetAutoRefresh(interval)
+	}
+}
+
+// WritePattern streams a pattern into every chip. The chips fill in
+// parallel across their channels, so the pass is charged at module
+// bandwidth over the module's capacity — the same time-per-capacity scaling
+// the paper's Equation 9 uses.
+func (m *Module) WritePattern(p dram.RowData) {
+	d := m.timing.PassSeconds(m.TotalBytes())
+	m.advance(d)
+	for _, dev := range m.devs {
+		dev.WriteAll(p, m.clock.Now())
+	}
+	m.stats.WriteSeconds += d
+	m.stats.WritePasses++
+	m.stats.BytesWritten += m.TotalBytes()
+}
+
+// Wait lets simulated time pass.
+func (m *Module) Wait(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	m.advance(seconds)
+	if m.refresh {
+		m.stats.IdleSeconds += seconds
+	} else {
+		m.stats.WaitSeconds += seconds
+	}
+}
+
+// ReadCompare reads every chip back and returns the failing cells as
+// module-global addresses.
+func (m *Module) ReadCompare() []uint64 {
+	d := m.timing.PassSeconds(m.TotalBytes())
+	m.advance(d)
+	var fails []uint64
+	for ci, dev := range m.devs {
+		for _, bit := range dev.ReadCompareAll(m.clock.Now()) {
+			fails = append(fails, GlobalBit(ci, bit))
+		}
+	}
+	m.stats.ReadSeconds += d
+	m.stats.ReadPasses++
+	m.stats.BytesRead += m.TotalBytes()
+	sort.Slice(fails, func(i, j int) bool { return fails[i] < fails[j] })
+	return fails
+}
+
+// Truth returns the module-wide ground-truth failing set at the target
+// conditions (the union of every chip's oracle, chip-offset).
+func (m *Module) Truth(targetInterval, targetTempC float64) *core.FailureSet {
+	out := core.NewFailureSet()
+	for ci, dev := range m.devs {
+		for _, bit := range dev.TrueFailingSet(targetInterval, targetTempC, m.clock.Now(), dram.OracleThreshold) {
+			out.Add(GlobalBit(ci, bit))
+		}
+	}
+	return out
+}
+
+// Module must satisfy the profiling interface.
+var _ core.TestStation = (*Module)(nil)

@@ -1,0 +1,124 @@
+// Package perfmodel implements the paper's analytic performance models:
+//
+//   - Equation 9, the end-to-end profiling-round runtime:
+//     T_profile = (T_REFI + T_wr + T_rd) * N_dp * N_it
+//     with the read/write pass times scaled by DRAM capacity from the
+//     empirically measured 0.125 s per 2GB (Section 7.3.1).
+//
+//   - Equation 8, the throughput model accounting for online profiling:
+//     IPC_real = IPC_ideal * (1 - profiling_overhead)
+//     under the paper's worst-case assumption that the system makes zero
+//     forward progress while a profiling round runs.
+package perfmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// PassSecondsPer2GB is the empirically measured time to write (or read and
+// compare) one data pattern across 2GB of LPDDR4 (paper Section 7.3.1
+// footnote). Pass times scale linearly with capacity.
+const PassSecondsPer2GB = 0.125
+
+// RoundConfig describes one online profiling round.
+type RoundConfig struct {
+	// TREFI is the profiling refresh interval in seconds (the time spent
+	// with refresh disabled per pass).
+	TREFI float64
+	// NumPatterns is N_dp, the number of data patterns per iteration.
+	NumPatterns int
+	// NumIterations is N_it.
+	NumIterations int
+	// TotalBytes is the capacity profiled (e.g. 32 chips x 8 Gb).
+	TotalBytes int64
+	// SpeedupFactor divides the round time; 1 for brute-force profiling,
+	// 2.5 for REAPER's experimentally measured reach-profiling speedup
+	// (Section 6.1.2). Zero is treated as 1.
+	SpeedupFactor float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c RoundConfig) Validate() error {
+	if c.TREFI <= 0 || c.NumPatterns <= 0 || c.NumIterations <= 0 || c.TotalBytes <= 0 {
+		return fmt.Errorf("perfmodel: invalid round config %+v", c)
+	}
+	if c.SpeedupFactor < 0 {
+		return fmt.Errorf("perfmodel: negative speedup factor")
+	}
+	return nil
+}
+
+// PassSeconds returns T_wr (== T_rd): one full data pass over the capacity.
+func (c RoundConfig) PassSeconds() float64 {
+	return PassSecondsPer2GB * float64(c.TotalBytes) / float64(2<<30)
+}
+
+// RoundSeconds evaluates Equation 9, divided by the speedup factor.
+func (c RoundConfig) RoundSeconds() float64 {
+	pass := c.PassSeconds()
+	t := (c.TREFI + 2*pass) * float64(c.NumPatterns) * float64(c.NumIterations)
+	if c.SpeedupFactor > 1 {
+		t /= c.SpeedupFactor
+	}
+	return t
+}
+
+// RoundDuration returns RoundSeconds as a time.Duration.
+func (c RoundConfig) RoundDuration() time.Duration {
+	return time.Duration(c.RoundSeconds() * float64(time.Second))
+}
+
+// OverheadFraction returns the proportion of total system time consumed by
+// profiling when one round runs every profilingInterval seconds — the
+// quantity plotted in Figure 11. The result is capped at 1 (profiling that
+// takes longer than its own interval leaves no time for anything else).
+func (c RoundConfig) OverheadFraction(profilingIntervalSeconds float64) float64 {
+	if profilingIntervalSeconds <= 0 {
+		return 1
+	}
+	f := c.RoundSeconds() / profilingIntervalSeconds
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// RealIPC evaluates Equation 8: the throughput the system actually achieves
+// given the ideal (no-profiling) throughput and the profiling overhead
+// fraction.
+func RealIPC(idealIPC, overheadFraction float64) float64 {
+	if overheadFraction < 0 {
+		overheadFraction = 0
+	}
+	if overheadFraction > 1 {
+		overheadFraction = 1
+	}
+	return idealIPC * (1 - overheadFraction)
+}
+
+// CommandCounts estimates the DRAM command volume of one profiling round,
+// for the power model: every pass writes and then reads/compares the whole
+// capacity once per pattern per iteration.
+type CommandCounts struct {
+	BytesWritten int64
+	BytesRead    int64
+	// RowActivations is the number of row activate/precharge pairs.
+	RowActivations int64
+}
+
+// Commands returns the command volume of one round. rowBytes is the row
+// size used to count activations (a full sequential pass activates each row
+// once per pass).
+func (c RoundConfig) Commands(rowBytes int64) CommandCounts {
+	if rowBytes <= 0 {
+		rowBytes = 2048
+	}
+	passes := int64(c.NumPatterns) * int64(c.NumIterations)
+	perPassRows := c.TotalBytes / rowBytes
+	return CommandCounts{
+		BytesWritten:   c.TotalBytes * passes,
+		BytesRead:      c.TotalBytes * passes,
+		RowActivations: perPassRows * passes * 2, // one for write, one for read
+	}
+}

@@ -1,0 +1,174 @@
+// Package scrub implements an AVATAR-style ECC-scrubbing profiler (Qureshi
+// et al., DSN'15), the passive alternative the paper analyzes in Section
+// 3.2: every memory word is protected by SECDED ECC, a scrubber
+// periodically sweeps memory, corrects single-bit errors, and records the
+// failing addresses as a retention profile.
+//
+// The paper's criticism — which this package makes demonstrable — is that
+// scrubbing is *passive*: it only observes failures under the data that
+// happens to be stored. A row that scrubs clean can be rewritten with an
+// unfavourable data pattern (DPD, Section 2.3.2) and then accumulate a
+// multi-bit error before the next scrub, which SECDED cannot correct.
+// Active profiling (REAPER) tests worst-case patterns deliberately and
+// finds those cells in advance.
+package scrub
+
+import (
+	"fmt"
+
+	"reaper/internal/core"
+	"reaper/internal/ecc"
+	"reaper/internal/memctrl"
+	"reaper/internal/mitigate"
+)
+
+// ECCMemory overlays SECDED(72,64) on a station: the 64 data bits live in
+// the simulated device, the 8 check bits in controller-side storage
+// (modelling the ECC DIMM's extra devices, which this testbed does not
+// simulate at cell level).
+type ECCMemory struct {
+	st     *memctrl.Station
+	checks map[mitigate.WordAddr]uint8
+}
+
+// NewECCMemory wraps a station.
+func NewECCMemory(st *memctrl.Station) (*ECCMemory, error) {
+	if st == nil {
+		return nil, fmt.Errorf("scrub: nil station")
+	}
+	return &ECCMemory{st: st, checks: make(map[mitigate.WordAddr]uint8)}, nil
+}
+
+// Write stores a word with ECC.
+func (m *ECCMemory) Write(addr mitigate.WordAddr, val uint64) error {
+	w := ecc.EncodeSECDED(val)
+	if err := m.st.WriteWord(addr.Bank, addr.Row, addr.Word, w.Data); err != nil {
+		return err
+	}
+	m.checks[addr] = w.Check
+	return nil
+}
+
+// Read loads a word through ECC decode. It returns the best-effort value
+// and the decode status; Corrected values are NOT written back (that is the
+// scrubber's job).
+func (m *ECCMemory) Read(addr mitigate.WordAddr) (uint64, ecc.DecodeStatus, error) {
+	check, ok := m.checks[addr]
+	if !ok {
+		return 0, ecc.Clean, fmt.Errorf("scrub: word %+v was never written", addr)
+	}
+	data, err := m.st.ReadWord(addr.Bank, addr.Row, addr.Word)
+	if err != nil {
+		return 0, ecc.Clean, err
+	}
+	val, status, _ := ecc.DecodeSECDED(ecc.Word72{Data: data, Check: check})
+	return val, status, nil
+}
+
+// Written returns the addresses currently under ECC protection, in
+// deterministic order.
+func (m *ECCMemory) Written() []mitigate.WordAddr {
+	out := make([]mitigate.WordAddr, 0, len(m.checks))
+	for a := range m.checks {
+		out = append(out, a)
+	}
+	sortAddrs(out)
+	return out
+}
+
+func sortAddrs(addrs []mitigate.WordAddr) {
+	less := func(a, b mitigate.WordAddr) bool {
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Word < b.Word
+	}
+	// Insertion-free: use sort.Slice via closure.
+	sortSlice(addrs, less)
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	WordsScanned  int
+	Corrected     int
+	Uncorrectable int
+}
+
+// Scrubber periodically sweeps the ECC memory, repairs single-bit errors by
+// rewriting the corrected data, and accumulates the profile of addresses
+// observed to fail — the AVATAR retention profile.
+type Scrubber struct {
+	mem     *ECCMemory
+	profile *core.FailureSet // failing *word* bit addresses (first bit of word)
+	// UncorrectableTotal counts double-bit (SECDED-fatal) events seen.
+	UncorrectableTotal int
+	// Rounds counts completed scrub passes.
+	Rounds int
+}
+
+// NewScrubber builds a scrubber over an ECC memory.
+func NewScrubber(mem *ECCMemory) (*Scrubber, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("scrub: nil memory")
+	}
+	return &Scrubber{mem: mem, profile: core.NewFailureSet()}, nil
+}
+
+// Scrub sweeps every written word once. Corrected words are rewritten with
+// clean data; uncorrectable words are left in place (the system would crash
+// or page them out) but still recorded in the profile.
+func (s *Scrubber) Scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	geom := s.mem.st.Device().Geometry()
+	for _, addr := range s.mem.Written() {
+		val, status, err := s.mem.Read(addr)
+		if err != nil {
+			return rep, err
+		}
+		rep.WordsScanned++
+		switch status {
+		case ecc.Corrected:
+			rep.Corrected++
+			s.recordWord(geom.BitIndex(toDRAMAddr(addr)))
+			if err := s.mem.Write(addr, val); err != nil {
+				return rep, err
+			}
+		case ecc.DoubleError:
+			rep.Uncorrectable++
+			s.UncorrectableTotal++
+			s.recordWord(geom.BitIndex(toDRAMAddr(addr)))
+		}
+	}
+	s.Rounds++
+	return rep, nil
+}
+
+func (s *Scrubber) recordWord(bit uint64) { s.profile.Add(bit) }
+
+// Profile returns the set of word base addresses (as bit indices) the
+// scrubber has observed failing. Note the granularity difference from
+// active profiling: the scrubber sees words, not cells, and only under the
+// stored data.
+func (s *Scrubber) Profile() *core.FailureSet { return s.profile.Clone() }
+
+// WordCoverage scores the scrubber's profile against a ground-truth cell
+// set at word granularity: the fraction of truth cells whose containing
+// word is in the scrubber's profile.
+func (s *Scrubber) WordCoverage(truth *core.FailureSet, st *memctrl.Station) float64 {
+	if truth.Len() == 0 {
+		return 1
+	}
+	geom := st.Device().Geometry()
+	hit := 0
+	for _, bit := range truth.Sorted() {
+		a := geom.AddrOf(bit)
+		a.Bit = 0
+		if s.profile.Contains(geom.BitIndex(a)) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(truth.Len())
+}

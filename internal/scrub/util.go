@@ -1,0 +1,17 @@
+package scrub
+
+import (
+	"sort"
+
+	"reaper/internal/dram"
+	"reaper/internal/mitigate"
+)
+
+func sortSlice(addrs []mitigate.WordAddr, less func(a, b mitigate.WordAddr) bool) {
+	sort.Slice(addrs, func(i, j int) bool { return less(addrs[i], addrs[j]) })
+}
+
+// toDRAMAddr converts a word address to the dram.Addr of its first bit.
+func toDRAMAddr(a mitigate.WordAddr) dram.Addr {
+	return dram.Addr{Bank: a.Bank, Row: a.Row, Word: a.Word, Bit: 0}
+}

@@ -1,0 +1,392 @@
+// Package stats implements the statistical machinery the REAPER reproduction
+// rests on: normal and lognormal distributions (per-cell retention failure
+// CDFs, Section 5.5 of the paper), log-space binomial tail probabilities (the
+// ECC/UBER model, Section 6.2.2), power-law least-squares fits (the Figure 4
+// steady-state failure accumulation fits of the form y = a*x^b), and the
+// descriptive statistics used by the experiment harness (histograms, ECDFs,
+// percentiles, box-plot summaries).
+//
+// Everything here is pure math on float64 with no hidden state, so it is
+// trivially testable and reusable across the device model, the profiler, and
+// the benchmark harness.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// NormalCDF returns P(X <= x) for X ~ Normal(mu, sigma).
+// For sigma == 0 it degenerates to a step function at mu.
+func NormalCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormalQuantile returns the x such that NormalCDF(x, mu, sigma) == p.
+// It uses the Acklam rational approximation refined by one Halley step,
+// accurate to ~1e-15 over (0, 1). Panics if p is outside (0, 1).
+func NormalQuantile(p, mu, sigma float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormalQuantile requires p in (0,1)")
+	}
+	z := standardNormalQuantile(p)
+	return mu + sigma*z
+}
+
+func standardNormalQuantile(p float64) float64 {
+	// Coefficients for the Acklam approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow = 0.02425
+	var z float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		z = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		z = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		z = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(z, 0, 1) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(z*z/2)
+	z = z - u/(1+z*u/2)
+	return z
+}
+
+// LogNormalCDF returns P(X <= x) for X lognormal with log-space parameters
+// (mu, sigma). Returns 0 for x <= 0.
+func LogNormalCDF(x, mu, sigma float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return NormalCDF(math.Log(x), mu, sigma)
+}
+
+// LogNormalQuantile returns the x such that LogNormalCDF(x, mu, sigma) == p.
+func LogNormalQuantile(p, mu, sigma float64) float64 {
+	return math.Exp(NormalQuantile(p, mu, sigma))
+}
+
+// LogBinomialPMF returns ln P(K == k) for K ~ Binomial(n, p).
+// It is stable for the astronomically small probabilities the UBER model
+// needs (e.g. P of a 3-bit error in a 72-bit word at RBER 1e-9).
+func LogBinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+}
+
+// BinomialTail returns P(K > k) = sum_{i=k+1}^{n} P(K == i) for
+// K ~ Binomial(n, p), computed in a numerically safe way for tiny p.
+func BinomialTail(n, k int, p float64) float64 {
+	if k >= n {
+		return 0
+	}
+	if k < 0 {
+		return 1
+	}
+	// For tiny p the first term dominates utterly; summing in linear space
+	// from the largest term down is safe because terms decay geometrically
+	// with ratio roughly n*p.
+	sum := 0.0
+	for i := k + 1; i <= n; i++ {
+		term := math.Exp(LogBinomialPMF(n, i, p))
+		sum += term
+		if term < sum*1e-18 && i > k+3 {
+			break
+		}
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lgN, _ := math.Lgamma(float64(n) + 1)
+	lgK, _ := math.Lgamma(float64(k) + 1)
+	lgNK, _ := math.Lgamma(float64(n-k) + 1)
+	return lgN - lgK - lgNK
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs,
+// or 0 if len(xs) < 2.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between closest ranks. It sorts a copy; xs is not modified.
+// Panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// BoxStats is the five-number summary plus mean used to render the paper's
+// Figure 13 style box plots (25th-75th percentile boxes, whisker data range,
+// median and mean lines).
+type BoxStats struct {
+	Min, P25, Median, P75, Max, Mean float64
+}
+
+// Box computes BoxStats for xs. Panics on an empty slice.
+func Box(xs []float64) BoxStats {
+	if len(xs) == 0 {
+		panic("stats: Box of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return BoxStats{
+		Min:    sorted[0],
+		P25:    percentileSorted(sorted, 25),
+		Median: percentileSorted(sorted, 50),
+		P75:    percentileSorted(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(xs),
+	}
+}
+
+// PowerLawFit is the result of fitting y = A * x^B by least squares in
+// log-log space, as the paper does for the Figure 4 steady-state failure
+// accumulation rates.
+type PowerLawFit struct {
+	A, B float64
+	// R2 is the coefficient of determination of the fit in log-log space.
+	R2 float64
+}
+
+// Eval returns A * x^B.
+func (f PowerLawFit) Eval(x float64) float64 { return f.A * math.Pow(x, f.B) }
+
+// FitPowerLaw fits y = A*x^B to the given points, ignoring any point with
+// non-positive x or y (which cannot be represented in log space). It returns
+// an error if fewer than two usable points remain.
+func FitPowerLaw(xs, ys []float64) (PowerLawFit, error) {
+	if len(xs) != len(ys) {
+		return PowerLawFit{}, errors.New("stats: FitPowerLaw length mismatch")
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return PowerLawFit{}, errors.New("stats: FitPowerLaw needs >= 2 positive points")
+	}
+	slope, intercept, r2 := linearFit(lx, ly)
+	return PowerLawFit{A: math.Exp(intercept), B: slope, R2: r2}, nil
+}
+
+// LinearFit fits y = slope*x + intercept by ordinary least squares and
+// returns the fit together with its R^2.
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, errors.New("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, 0, errors.New("stats: LinearFit needs >= 2 points")
+	}
+	slope, intercept, r2 = linearFit(xs, ys)
+	return slope, intercept, r2, nil
+}
+
+func linearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, sy / n, 0
+	}
+	slope = (n*sxy - sx*sy) / denom
+	intercept = (sy - slope*sx) / n
+	// R^2
+	my := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	return slope, intercept, 1 - ssRes/ssTot
+}
+
+// FitNormal estimates (mu, sigma) of a normal distribution by sample moments.
+func FitNormal(xs []float64) (mu, sigma float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// FitLogNormal estimates the log-space (mu, sigma) of a lognormal
+// distribution from samples, ignoring non-positive values.
+func FitLogNormal(xs []float64) (mu, sigma float64) {
+	var logs []float64
+	for _, x := range xs {
+		if x > 0 {
+			logs = append(logs, math.Log(x))
+		}
+	}
+	return Mean(logs), StdDev(logs)
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max] and returns
+// the bin edges (nbins+1 values) and counts (nbins values). Values outside
+// the range are clamped into the first/last bin.
+func Histogram(xs []float64, min, max float64, nbins int) (edges []float64, counts []int) {
+	if nbins <= 0 {
+		panic("stats: Histogram needs nbins > 0")
+	}
+	if max <= min {
+		panic("stats: Histogram needs max > min")
+	}
+	edges = make([]float64, nbins+1)
+	width := (max - min) / float64(nbins)
+	for i := range edges {
+		edges[i] = min + float64(i)*width
+	}
+	counts = make([]int, nbins)
+	for _, x := range xs {
+		b := int((x - min) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}
+
+// ECDF returns the empirical CDF of xs evaluated at each of the sorted sample
+// points: the i-th returned y equals (i+1)/n for the i-th sorted x.
+func ECDF(xs []float64) (sortedX, y []float64) {
+	sortedX = append([]float64(nil), xs...)
+	sort.Float64s(sortedX)
+	y = make([]float64, len(sortedX))
+	n := float64(len(sortedX))
+	for i := range y {
+		y[i] = float64(i+1) / n
+	}
+	return sortedX, y
+}
+
+// KSNormal returns the Kolmogorov-Smirnov statistic of xs against a
+// Normal(mu, sigma) reference — the maximum absolute gap between the
+// empirical CDF and the reference CDF. Used by the characterization harness
+// to verify that measured per-cell failure CDFs are normal (Figure 6a).
+func KSNormal(xs []float64, mu, sigma float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	maxGap := 0.0
+	for i, x := range sorted {
+		ref := NormalCDF(x, mu, sigma)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if g := math.Abs(ref - lo); g > maxGap {
+			maxGap = g
+		}
+		if g := math.Abs(ref - hi); g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap
+}

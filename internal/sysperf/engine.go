@@ -1,0 +1,150 @@
+package sysperf
+
+// The queued memory engine: requests are enqueued at issue time and
+// scheduled per channel by the configured policy. FR-FCFS (the paper's
+// Table 2 scheduler) prefers row-buffer hits over older requests; FCFS
+// services strictly in arrival order. Banks proceed in parallel: the
+// scheduler always dispatches the request that can start earliest, so a
+// busy bank never delays traffic to an idle one.
+//
+// Scheduling is lazy: a channel's queue is only drained when some core
+// needs one of its completions (MSHR pressure, a dependent load, or the end
+// of its instruction budget). Requests issued by other cores after that
+// point — which on hardware could still win arbitration — are not
+// considered; the window is at most one inter-miss gap per core, which
+// keeps the approximation tight at simulation cost O(requests log requests).
+
+// SchedulerPolicy selects the memory scheduling policy.
+type SchedulerPolicy int
+
+const (
+	// SchedFRFCFS is first-ready, first-come-first-served (default).
+	SchedFRFCFS SchedulerPolicy = iota
+	// SchedFCFS services requests strictly in arrival order per channel.
+	SchedFCFS
+)
+
+// pendingReq is one enqueued memory request.
+type pendingReq struct {
+	id      int64
+	arrival float64 // ns
+	row     uint64
+	write   bool
+}
+
+// enqueue registers a request and returns its id.
+func (d *dram) enqueue(arrival float64, row uint64, write bool) int64 {
+	id := d.nextID
+	d.nextID++
+	ch := int(row % uint64(d.cfg.Channels))
+	d.pending[ch] = append(d.pending[ch], pendingReq{
+		id: id, arrival: arrival, row: row, write: write,
+	})
+	d.channelOf[id] = ch
+	return id
+}
+
+// resolve drains the owning channel until the request completes and returns
+// its completion time. The completion record is consumed.
+func (d *dram) resolve(id int64) float64 {
+	if t, ok := d.completed[id]; ok {
+		delete(d.completed, id)
+		return t
+	}
+	ch := d.channelOf[id]
+	for {
+		d.scheduleNext(ch)
+		if t, ok := d.completed[id]; ok {
+			delete(d.completed, id)
+			delete(d.channelOf, id)
+			return t
+		}
+	}
+}
+
+// scheduleNext dispatches one request from the channel queue.
+func (d *dram) scheduleNext(ch int) {
+	q := d.pending[ch]
+	if len(q) == 0 {
+		panic("sysperf: scheduleNext on empty queue")
+	}
+	t := d.cfg.Timing
+
+	bankOf := func(row uint64) int {
+		return int(row / uint64(d.cfg.Channels) % uint64(d.cfg.BanksPerChannel))
+	}
+	bankRowOf := func(row uint64) uint64 {
+		return row / uint64(d.cfg.Channels) / uint64(d.cfg.BanksPerChannel)
+	}
+
+	best := -1
+	var bestStart float64
+	var bestHit bool
+	for i, req := range q {
+		bank := bankOf(req.row)
+		start := req.arrival
+		if r := d.bankReady[ch][bank]; r > start {
+			start = r
+		}
+		start = d.skipRefreshWindows(ch, start)
+		hit := !d.cfg.ClosedRowPolicy && d.openRow[ch][bank] == bankRowOf(req.row)+1
+
+		take := false
+		switch {
+		case best < 0:
+			take = true
+		case d.cfg.Scheduler == SchedFCFS:
+			take = req.arrival < q[best].arrival ||
+				(req.arrival == q[best].arrival && req.id < q[best].id)
+		default: // FR-FCFS: earliest possible start; hits break ties, then age.
+			switch {
+			case start < bestStart:
+				take = true
+			case start == bestStart && hit && !bestHit:
+				take = true
+			case start == bestStart && hit == bestHit &&
+				(req.arrival < q[best].arrival ||
+					(req.arrival == q[best].arrival && req.id < q[best].id)):
+				take = true
+			}
+		}
+		if take {
+			best, bestStart, bestHit = i, start, hit
+		}
+	}
+
+	req := q[best]
+	bank := bankOf(req.row)
+	// Recompute the chosen request's timing (FCFS may pick a request whose
+	// bank is not the earliest available).
+	start := req.arrival
+	if r := d.bankReady[ch][bank]; r > start {
+		start = r
+	}
+	start = d.skipRefreshWindows(ch, start)
+
+	var svc float64
+	switch {
+	case d.cfg.ClosedRowPolicy:
+		svc = t.TRCD + t.TCL + t.TBURST
+		d.stats.Activations++
+	case d.openRow[ch][bank] == bankRowOf(req.row)+1:
+		svc = t.TCL + t.TBURST
+		d.stats.RowHits++
+	default:
+		svc = t.TRP + t.TRCD + t.TCL + t.TBURST
+		d.openRow[ch][bank] = bankRowOf(req.row) + 1
+		d.stats.Activations++
+	}
+	done := start + svc
+	d.bankReady[ch][bank] = done
+	if req.write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	d.completed[req.id] = done
+
+	// Remove from the queue preserving order.
+	d.pending[ch] = append(q[:best], q[best+1:]...)
+}
