@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-parallel
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector. The determinism tests
+# (internal/experiments, internal/module, internal/parallel) drive the
+# worker pool at workers=8, so this exercises the parallel fleet paths.
+# Race instrumentation slows the experiments suite well past go test's
+# default 10m per-package timeout, hence the explicit -timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-parallel regenerates BENCH_parallel.json: sequential vs parallel
+# wall-clock for the population and tradeoff sweeps plus device read-path
+# microbenchmarks.
+bench-parallel:
+	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json

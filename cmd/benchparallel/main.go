@@ -1,0 +1,175 @@
+// Command benchparallel measures the repository's parallel fleet engine and
+// device read-path hot paths and writes a machine-readable baseline to
+// BENCH_parallel.json: sequential vs parallel wall-clock for the population
+// and tradeoff sweeps, plus ReadCompareAll microbenchmark numbers. The JSON
+// seeds the repo's perf trajectory — future PRs append comparable runs.
+//
+// Usage:
+//
+//	benchparallel [-out BENCH_parallel.json] [-workers N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"reaper/internal/dram"
+	"reaper/internal/experiments"
+	"reaper/internal/parallel"
+	"reaper/internal/patterns"
+)
+
+// SweepResult is one sweep measured sequentially and in parallel.
+type SweepResult struct {
+	Name          string  `json:"name"`
+	SequentialSec float64 `json:"sequential_sec"`
+	ParallelSec   float64 `json:"parallel_sec"`
+	Workers       int     `json:"workers"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// MicroResult is a single-threaded hot-path microbenchmark.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Baseline is the BENCH_parallel.json schema.
+type Baseline struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Sweeps      []SweepResult `json:"sweeps"`
+	Micro       []MicroResult `json:"micro"`
+	// SeedMicro pins the pre-optimization hot-path numbers (same benchmark,
+	// same machine class) so the JSON records the reduction, not just the
+	// current value.
+	SeedMicro []MicroResult `json:"seed_micro"`
+}
+
+// seedMicro holds the device read-path numbers measured at the seed commit,
+// before the row-state hoisting and neighbourhood-code caching rewrite.
+var seedMicro = []MicroResult{
+	{Name: "read_compare_all", NsPerOp: 7_890_246, AllocsPerOp: 13, BytesPerOp: 8288},
+	{Name: "read_compare_all_autorefresh", NsPerOp: 8_631_234, AllocsPerOp: 1, BytesPerOp: 48},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output path")
+	workers := flag.Int("workers", parallel.DefaultWorkers(), "parallel worker count to measure")
+	flag.Parse()
+
+	b := Baseline{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		SeedMicro:   seedMicro,
+	}
+
+	b.Sweeps = append(b.Sweeps, measureSweep("population_sweep", *workers, func(w int) error {
+		cfg := experiments.DefaultPopulationConfig()
+		cfg.Workers = w
+		_, err := experiments.PopulationSweep(cfg)
+		return err
+	}))
+	b.Sweeps = append(b.Sweeps, measureSweep("tradeoff_grid", *workers, func(w int) error {
+		cfg := experiments.DefaultFig9Config()
+		cfg.DeltaIntervals = []float64{0, 0.25, 0.5}
+		cfg.DeltaTemps = []float64{0, 5}
+		cfg.Iterations = 8
+		cfg.MaxIterations = 32
+		cfg.Workers = w
+		_, err := experiments.Fig9Fig10Tradeoff(cfg)
+		return err
+	}))
+
+	b.Micro = append(b.Micro,
+		micro("read_compare_all", benchReadCompareAll(0)),
+		micro("read_compare_all_autorefresh", benchReadCompareAll(0.064)),
+	)
+
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, s := range b.Sweeps {
+		fmt.Printf("  %-20s seq %.2fs  par(%d) %.2fs  speedup %.2fx\n",
+			s.Name, s.SequentialSec, s.Workers, s.ParallelSec, s.Speedup)
+	}
+	for _, m := range b.Micro {
+		fmt.Printf("  %-30s %.0f ns/op  %d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+}
+
+// measureSweep times one run at workers=1 and one at the requested count.
+// The sweeps are deterministic, so a single timed run per mode compares the
+// same work on both sides.
+func measureSweep(name string, workers int, run func(workers int) error) SweepResult {
+	timeOne := func(w int) float64 {
+		start := time.Now()
+		if err := run(w); err != nil {
+			log.Fatalf("%s (workers=%d): %v", name, w, err)
+		}
+		return time.Since(start).Seconds()
+	}
+	r := SweepResult{
+		Name:          name,
+		Workers:       workers,
+		SequentialSec: timeOne(1),
+		ParallelSec:   timeOne(workers),
+	}
+	if r.ParallelSec > 0 {
+		r.Speedup = r.SequentialSec / r.ParallelSec
+	}
+	return r
+}
+
+func micro(name string, r testing.BenchmarkResult) MicroResult {
+	return MicroResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchReadCompareAll mirrors internal/dram's BenchmarkReadCompareAll: one
+// full write/wait/read profiling pass on a bench-scale chip.
+func benchReadCompareAll(autoRef float64) testing.BenchmarkResult {
+	d, err := dram.NewDevice(dram.Config{
+		Geometry:  dram.Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256},
+		Vendor:    dram.VendorB(),
+		Seed:      7,
+		WeakScale: 30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if autoRef > 0 {
+		d.SetAutoRefresh(autoRef)
+	}
+	ps := []dram.RowData{patterns.Solid1(), patterns.Checkerboard(), patterns.Random(1)}
+	now := 0.0
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.WriteAll(ps[i%len(ps)], now)
+			now += 2.048
+			_ = d.ReadCompareAll(now)
+			now += 0.5
+		}
+	})
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	characterize [-fig N] [-quick] [-seed S]
+//	characterize [-fig N] [-quick] [-seed S] [-workers N]
 //
 // With no -fig, every figure is produced in order.
 package main
@@ -16,19 +16,27 @@ import (
 
 	"reaper/internal/dram"
 	"reaper/internal/experiments"
+	"reaper/internal/parallel"
 )
+
+// workers is the pool size shared by every fleet-shaped experiment here;
+// results are identical at any value (see internal/parallel).
+var workers int
 
 func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (2-8); 0 = all")
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	population := flag.Int("population", 0, "also sweep a fleet of N chips per vendor")
+	flag.IntVar(&workers, "workers", parallel.DefaultWorkers(),
+		"worker pool size for fleet sweeps (results are identical at any count)")
 	flag.Parse()
 
 	if *population > 0 {
 		cfg := experiments.DefaultPopulationConfig()
 		cfg.ChipsPerVendor = *population
 		cfg.Seed = *seed
+		cfg.Workers = workers
 		results, err := experiments.PopulationSweep(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -71,6 +79,7 @@ func main() {
 func fig2(quick bool, seed uint64) {
 	cfg := experiments.DefaultFig2Config()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.Iterations = 2
 	}
@@ -112,6 +121,7 @@ func fig3(quick bool, seed uint64) {
 func fig4(quick bool, seed uint64) {
 	cfg := experiments.DefaultFig4Config()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.Iterations = 30
 		cfg.SimHours = 12
@@ -127,6 +137,7 @@ func fig4(quick bool, seed uint64) {
 func fig5(quick bool, seed uint64) {
 	cfg := experiments.DefaultFig5Config()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.Iterations = 16
 		cfg.Vendors = []dram.VendorParams{dram.VendorB()}

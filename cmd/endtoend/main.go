@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	endtoend [-part table1|fig11|fig13|all] [-quick] [-cadence paper|longevity]
+//	endtoend [-part table1|fig11|fig13|all] [-quick] [-cadence paper|longevity] [-workers N]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"reaper/internal/ecc"
 	"reaper/internal/experiments"
+	"reaper/internal/parallel"
 )
 
 func main() {
@@ -22,6 +23,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced mix count and simulation length")
 	cadence := flag.String("cadence", "paper", "fig13 profiling cadence model: paper | longevity")
 	seed := flag.Uint64("seed", 13, "experiment seed")
+	workers := flag.Int("workers", parallel.DefaultWorkers(),
+		"worker pool size for the fig13 mix simulations (results are identical at any count)")
 	flag.Parse()
 
 	doTable1 := *part == "all" || *part == "table1"
@@ -45,6 +48,7 @@ func main() {
 	if doFig13 {
 		cfg := experiments.DefaultFig13Config()
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 		switch *cadence {
 		case "paper":
 			cfg.Cadence = experiments.CadencePaperImplied

@@ -7,7 +7,7 @@
 //
 //	reaper [-capacity-mbit N] [-vendor A|B|C] [-seed S]
 //	       [-target ms] [-reach-interval ms] [-reach-temp C]
-//	       [-iterations N] [-chamber]
+//	       [-iterations N] [-chamber] [-workers N]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"reaper"
 	"reaper/internal/ecc"
 	"reaper/internal/longevity"
+	"reaper/internal/parallel"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 	iterations := flag.Int("iterations", 16, "profiling iterations")
 	chamber := flag.Bool("chamber", false, "simulate the PID thermal chamber")
 	chips := flag.Int("chips", 1, "number of chips (>1 profiles a multi-chip module)")
+	workers := flag.Int("workers", parallel.DefaultWorkers(),
+		"worker pool size for multi-chip module passes (results are identical at any count)")
 	flag.Parse()
 
 	var vendor reaper.VendorParams
@@ -57,6 +60,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		mod.SetWorkers(*workers)
 		fmt.Printf("module: %d chips x %v, vendor %s\n",
 			mod.Chips(), mod.Device(0).Geometry(), vendor.Name)
 		st = mod

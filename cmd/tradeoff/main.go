@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tradeoff [-target ms] [-quick] [-seed S]
+//	tradeoff [-target ms] [-quick] [-seed S] [-workers N]
 package main
 
 import (
@@ -15,18 +15,22 @@ import (
 	"os"
 
 	"reaper/internal/experiments"
+	"reaper/internal/parallel"
 )
 
 func main() {
 	targetMs := flag.Float64("target", 1024, "target refresh interval in milliseconds")
 	quick := flag.Bool("quick", false, "smaller grid and iteration counts")
 	seed := flag.Uint64("seed", 9, "experiment seed")
+	workers := flag.Int("workers", parallel.DefaultWorkers(),
+		"worker pool size for the reach grid (results are identical at any count)")
 	flag.Parse()
 
 	cfg := experiments.DefaultFig9Config()
 	cfg.TargetInterval = *targetMs / 1000
 	cfg.Seed = *seed
 	cfg.Chip.Seed = *seed
+	cfg.Workers = *workers
 	if *quick {
 		cfg.DeltaIntervals = []float64{0, 0.25, 0.5}
 		cfg.DeltaTemps = []float64{0, 5}

@@ -6,7 +6,7 @@
 // explorer that regenerates the paper's Figures 9 and 10.
 package core
 
-import "sort"
+import "slices"
 
 // FailureSet is a set of failing cell addresses (global bit indices).
 // The zero value is not usable; construct with NewFailureSet.
@@ -108,7 +108,7 @@ func (s *FailureSet) Sorted() []uint64 {
 	for b := range s.m {
 		out = append(out, b)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

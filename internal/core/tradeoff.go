@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"reaper/internal/memctrl"
+	"reaper/internal/parallel"
 )
 
 // TradeoffConfig drives the reach-condition exploration of the paper's
@@ -44,6 +46,12 @@ type TradeoffConfig struct {
 	// truth instead (impossible on real hardware, useful for model
 	// analysis).
 	Reference ReferenceMode
+
+	// Workers bounds the worker pool evaluating grid points concurrently;
+	// <= 0 means one worker per CPU. Every grid point profiles its own
+	// freshly constructed station (mkStation), so results are identical at
+	// any worker count.
+	Workers int
 }
 
 // ReferenceMode selects the scoring reference for tradeoff exploration.
@@ -124,10 +132,9 @@ func ExploreTradeoffs(mkStation func() (*memctrl.Station, error), cfg TradeoffCo
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	var points []TradeoffPoint
-	var bruteRuntime float64
 
-	// Build the scoring reference.
+	// Build the scoring reference first: every grid point scores against the
+	// same brute-force profile at target conditions.
 	var reference *FailureSet
 	if cfg.Reference == ReferenceEmpirical {
 		st, err := mkStation()
@@ -148,20 +155,27 @@ func ExploreTradeoffs(mkStation func() (*memctrl.Station, error), cfg TradeoffCo
 		reference = refRes.Failures
 	}
 
-	for _, dT := range cfg.DeltaTemps {
-		for _, dI := range cfg.DeltaIntervals {
+	// Grid points are independent — each profiles a fresh identically-seeded
+	// station and only reads the shared reference — so fan them out on the
+	// pool in row-major submission order.
+	nI := len(cfg.DeltaIntervals)
+	points, err := parallel.Map(context.Background(), len(cfg.DeltaTemps)*nI, cfg.Workers,
+		func(_ context.Context, job int) (TradeoffPoint, error) {
+			dT := cfg.DeltaTemps[job/nI]
+			dI := cfg.DeltaIntervals[job%nI]
 			st, err := mkStation()
 			if err != nil {
-				return nil, fmt.Errorf("core: mkStation: %w", err)
+				return TradeoffPoint{}, fmt.Errorf("core: mkStation: %w", err)
 			}
-			pt, err := measurePoint(st, cfg, reference, ReachConditions{DeltaInterval: dI, DeltaTempC: dT})
-			if err != nil {
-				return nil, err
-			}
-			if dI == 0 && dT == 0 {
-				bruteRuntime = pt.RuntimeSeconds
-			}
-			points = append(points, pt)
+			return measurePoint(st, cfg, reference, ReachConditions{DeltaInterval: dI, DeltaTempC: dT})
+		})
+	if err != nil {
+		return nil, err
+	}
+	var bruteRuntime float64
+	for _, pt := range points {
+		if pt.Reach.DeltaInterval == 0 && pt.Reach.DeltaTempC == 0 {
+			bruteRuntime = pt.RuntimeSeconds
 		}
 	}
 	if bruteRuntime > 0 {

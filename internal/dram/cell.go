@@ -42,6 +42,11 @@ type weakCell struct {
 	// scenario); -1 when the cell holds its written data.
 	stuck int8
 
+	// nbrCode caches the cell's neighbourhood code for the write epoch
+	// nbrEpoch; valid only while nbrEpoch == Device.contentEpoch.
+	nbrCode  uint64
+	nbrEpoch uint64
+
 	// vrt is non-nil for cells with variable retention time.
 	vrt *vrtState
 }

@@ -1,9 +1,10 @@
 package dram
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"reaper/internal/rng"
 )
@@ -107,6 +108,12 @@ type Device struct {
 	src        *rng.Source
 	readsDone  uint64
 	flipsSoFar uint64
+
+	// contentEpoch increments on every operation that changes stored
+	// (written) data. Per-cell neighbourhood codes are cached against it:
+	// reads never change written content, so the code computed on the first
+	// sample after a write stays valid until the next write.
+	contentEpoch uint64
 }
 
 // NewDevice builds a device and samples its weak-cell population.
@@ -122,14 +129,15 @@ func NewDevice(cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("dram: invalid retention domain [%v, %v]", cfg.MinRetention, cfg.MaxRetention)
 	}
 	d := &Device{
-		cfg:      cfg,
-		geom:     cfg.Geometry,
-		vend:     cfg.Vendor,
-		byRow:    make(map[uint32][]*weakCell),
-		bulkData: zeroData{},
-		rows:     make(map[uint32]*rowState),
-		tempC:    cfg.AmbientTempC,
-		src:      rng.New(cfg.Seed),
+		cfg:          cfg,
+		geom:         cfg.Geometry,
+		vend:         cfg.Vendor,
+		byRow:        make(map[uint32][]*weakCell),
+		bulkData:     zeroData{},
+		rows:         make(map[uint32]*rowState),
+		tempC:        cfg.AmbientTempC,
+		src:          rng.New(cfg.Seed),
+		contentEpoch: 1, // so zero-valued per-cell caches start invalid
 	}
 	d.sampleWeakPopulation()
 	return d, nil
@@ -175,7 +183,7 @@ func (d *Device) sampleWeakPopulation() {
 		}
 	}
 
-	sort.Slice(d.weak, func(i, j int) bool { return d.weak[i].bit < d.weak[j].bit })
+	slices.SortFunc(d.weak, func(a, b *weakCell) int { return cmp.Compare(a.bit, b.bit) })
 	for _, c := range d.weak {
 		r := d.geom.rowOfBit(c.bit)
 		d.byRow[r] = append(d.byRow[r], c)
@@ -205,8 +213,8 @@ func (d *Device) addWeakCell(taken map[uint64]struct{}, mu float64, vrt bool, mu
 	}
 	v := &d.vend
 	sigma := d.src.LogNormal(math.Log(v.SigmaLogMedianMS/1000), v.SigmaLogSigma)
-	if cap := mu / 5; sigma > cap {
-		sigma = cap
+	if sigmaCap := mu / 5; sigma > sigmaCap {
+		sigma = sigmaCap
 	}
 	sens := 0.0
 	if !d.cfg.DisableDPD {
@@ -297,7 +305,14 @@ func (d *Device) stateOf(row uint32) (RowData, float64, *rowState) {
 }
 
 // wordAt returns the logical (written) value of a word, honouring overrides.
+// The no-deviation fast path matters: right after a bulk pattern write —
+// the state every profiling pass reads from — there are no per-row records,
+// and the word comes straight out of the pattern descriptor with no map
+// lookups at all.
 func (d *Device) wordAt(row uint32, word int) uint64 {
+	if len(d.rows) == 0 {
+		return d.bulkData.Word(row, word)
+	}
 	data, _, rs := d.stateOf(row)
 	if rs != nil && rs.overrides != nil {
 		if v, ok := rs.overrides[word]; ok {
@@ -321,22 +336,33 @@ func (d *Device) neighborhoodCode(bit uint64) uint64 {
 	rowBits := d.geom.RowBits()
 	pos := a.Word*WordBits + a.Bit
 
-	bitInRow := func(r uint32, p int) uint64 {
-		if p < 0 || p >= rowBits {
-			return 0
-		}
-		return uint64(d.bitAt(r, p/WordBits, p%WordBits))
-	}
 	var code uint64
-	code |= bitInRow(row, pos-1)
-	code |= bitInRow(row, pos+1) << 1
+	if p := pos - 1; p >= 0 {
+		code |= uint64(d.bitAt(row, p/WordBits, p%WordBits))
+	}
+	if p := pos + 1; p < rowBits {
+		code |= uint64(d.bitAt(row, p/WordBits, p%WordBits)) << 1
+	}
 	if a.Row > 0 {
-		code |= bitInRow(row-1, pos) << 2
+		code |= uint64(d.bitAt(row-1, pos/WordBits, pos%WordBits)) << 2
 	}
 	if a.Row < d.geom.RowsPerBank-1 {
-		code |= bitInRow(row+1, pos) << 3
+		code |= uint64(d.bitAt(row+1, pos/WordBits, pos%WordBits)) << 3
 	}
 	return code
+}
+
+// neighborhoodCodeOf returns the cell's neighbourhood code, reusing the
+// per-cell cache when the stored content has not changed since the last
+// computation. Reads (including failures sticking) never change written
+// content, so within one write epoch the code is a constant of the cell.
+func (d *Device) neighborhoodCodeOf(c *weakCell) uint64 {
+	if c.nbrEpoch == d.contentEpoch {
+		return c.nbrCode
+	}
+	c.nbrCode = d.neighborhoodCode(c.bit)
+	c.nbrEpoch = d.contentEpoch
+	return c.nbrCode
 }
 
 // sampleRead determines the value read from a weak cell at simulated time
@@ -345,6 +371,15 @@ func (d *Device) neighborhoodCode(bit uint64) uint64 {
 func (d *Device) sampleRead(c *weakCell, row uint32, now, restoredAt float64) uint8 {
 	a := d.geom.AddrOf(c.bit)
 	written := d.bitAt(row, a.Word, a.Bit)
+	return d.sampleReadBit(c, written, now, restoredAt)
+}
+
+// sampleReadBit is sampleRead with the cell's written value already in hand
+// (the bulk read path fetches it once per cell while walking rows). It must
+// consume RNG draws exactly as the sequential seed implementation did: a
+// draw happens only for probabilities strictly inside (0, 1), so the early
+// exits below skip no draws.
+func (d *Device) sampleReadBit(c *weakCell, written uint8, now, restoredAt float64) uint8 {
 	if c.stuck >= 0 {
 		return uint8(c.stuck)
 	}
@@ -352,7 +387,7 @@ func (d *Device) sampleRead(c *weakCell, row uint32, now, restoredAt float64) ui
 	if elapsed <= 0 {
 		return written
 	}
-	code := d.neighborhoodCode(c.bit)
+	code := d.neighborhoodCodeOf(c)
 	failed := false
 	if d.autoRef > 0 && elapsed > d.autoRef {
 		// k full refresh cycles have passed; a failure at any of them was
@@ -425,6 +460,7 @@ func (d *Device) WriteAll(data RowData, now float64) {
 	for _, c := range d.weak {
 		c.stuck = -1
 	}
+	d.contentEpoch++
 }
 
 // ReadCompareAll reads every row at simulated time now, compares the read
@@ -435,13 +471,36 @@ func (d *Device) WriteAll(data RowData, now float64) {
 func (d *Device) ReadCompareAll(now float64) []uint64 {
 	var fails []uint64
 	// Iterate in bit order (not map order) so same-seed devices sample
-	// identically.
+	// identically. d.weak is sorted by bit index and rowOfBit is monotonic
+	// in it, so cells arrive clustered by row: hoist the row-state lookup to
+	// row boundaries instead of paying a map walk per weak cell.
+	var (
+		curRow     uint32
+		curData    RowData
+		curOverr   map[int]uint64
+		restoredAt float64
+		haveRow    bool
+	)
 	for _, c := range d.weak {
 		row := d.geom.rowOfBit(c.bit)
-		_, restoredAt, _ := d.stateOf(row)
+		if !haveRow || row != curRow {
+			curRow, haveRow = row, true
+			var rs *rowState
+			curData, restoredAt, rs = d.stateOf(row)
+			curOverr = nil
+			if rs != nil {
+				curOverr = rs.overrides
+			}
+		}
 		a := d.geom.AddrOf(c.bit)
-		written := d.bitAt(row, a.Word, a.Bit)
-		got := d.sampleRead(c, row, now, restoredAt)
+		w := curData.Word(row, a.Word)
+		if curOverr != nil {
+			if v, ok := curOverr[a.Word]; ok {
+				w = v
+			}
+		}
+		written := uint8(w >> uint(a.Bit) & 1)
+		got := d.sampleReadBit(c, written, now, restoredAt)
 		if got != written {
 			fails = append(fails, c.bit)
 		}
@@ -452,7 +511,7 @@ func (d *Device) ReadCompareAll(now float64) []uint64 {
 		rs.restoredAt = now
 	}
 	d.readsDone++
-	sort.Slice(fails, func(i, j int) bool { return fails[i] < fails[j] })
+	slices.Sort(fails)
 	return fails
 }
 
@@ -478,6 +537,7 @@ func (d *Device) WriteRow(bank, row int, words []uint64, now float64) error {
 	copy(cp, words)
 	d.rows[gr] = &rowState{data: cp, restoredAt: now}
 	d.clearStuck(gr)
+	d.contentEpoch++
 	return nil
 }
 
@@ -537,6 +597,7 @@ func (d *Device) WriteWord(bank, row, word int, val uint64, now float64) error {
 			c.stuck = -1
 		}
 	}
+	d.contentEpoch++
 	return nil
 }
 
@@ -628,5 +689,6 @@ func (d *Device) RestoreContent(snap *ContentSnapshot, now float64) error {
 	for i, c := range d.weak {
 		c.stuck = snap.stuck[i]
 	}
+	d.contentEpoch++
 	return nil
 }

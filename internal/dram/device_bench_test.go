@@ -1,0 +1,69 @@
+package dram
+
+import (
+	"testing"
+
+	"reaper/internal/patterns"
+)
+
+// benchReadDevice builds the chip the read-path benchmarks use: large enough
+// that a pass touches thousands of weak cells, matching the per-pass work of
+// the experiment harnesses.
+func benchReadDevice(b *testing.B) *Device {
+	b.Helper()
+	return testDevice(b, 7, func(c *Config) {
+		c.Geometry = Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256}
+		c.WeakScale = 30
+	})
+}
+
+// BenchmarkReadCompareAll measures one full write/wait/read profiling pass —
+// the innermost loop of every experiment in the repository. The per-op cost
+// is dominated by per-weak-cell sampling: row-state lookup, neighbourhood
+// code reconstruction, and the failure CDF.
+func BenchmarkReadCompareAll(b *testing.B) {
+	d := benchReadDevice(b)
+	ps := []RowData{patterns.Solid1(), patterns.Checkerboard(), patterns.Random(1)}
+	now := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.WriteAll(ps[i%len(ps)], now)
+		now += 2.048
+		fails := d.ReadCompareAll(now)
+		now += 0.5
+		_ = fails
+	}
+}
+
+// BenchmarkReadCompareAllAutoRefresh measures the refresh-enabled read path
+// (the multi-cycle stick-probability branch).
+func BenchmarkReadCompareAllAutoRefresh(b *testing.B) {
+	d := benchReadDevice(b)
+	d.SetAutoRefresh(0.064)
+	now := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.WriteAll(patterns.Checkerboard(), now)
+		now += 2.048
+		_ = d.ReadCompareAll(now)
+		now += 0.5
+	}
+}
+
+// BenchmarkReadRow measures the single-row activation path used by the
+// mitigation and scrubbing layers.
+func BenchmarkReadRow(b *testing.B) {
+	d := benchReadDevice(b)
+	d.WriteAll(patterns.Checkerboard(), 0)
+	now := 1.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ReadRow(i%d.Geometry().Banks, i%d.Geometry().RowsPerBank, now); err != nil {
+			b.Fatal(err)
+		}
+		now += 0.001
+	}
+}

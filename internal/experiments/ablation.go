@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"reaper/internal/core"
+	"reaper/internal/parallel"
 	"reaper/internal/patterns"
 )
 
@@ -68,11 +71,12 @@ func AblationVRT(chip ChipSpec, intervalS float64, iterations int, simHours floa
 		hours := (st.Clock() - start) / 3600
 		return float64(newCells) / hours, nil
 	}
-	with, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	without, err := run(true)
+	// The two arms build independent chips; run them as parallel thunks.
+	var with, without float64
+	err := parallel.Do(context.Background(), 0,
+		func(context.Context) error { var e error; with, e = run(false); return e },
+		func(context.Context) error { var e error; without, e = run(true); return e },
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -117,11 +121,11 @@ func AblationDPD(chip ChipSpec, intervalS float64, iterations int) (*DPDAblation
 		}
 		return core.Coverage(res.Failures, truth), nil
 	}
-	with, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	without, err := run(true)
+	var with, without float64
+	err := parallel.Do(context.Background(), 0,
+		func(context.Context) error { var e error; with, e = run(false); return e },
+		func(context.Context) error { var e error; without, e = run(true); return e },
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -171,24 +175,27 @@ func AblationReachKnobs(chip ChipSpec, target, deltaInterval, deltaTemp float64,
 			FPR:      core.FalsePositiveRate(res.Failures, truth),
 		}, nil
 	}
-	interval, err := measure(core.ReachConditions{DeltaInterval: deltaInterval})
-	if err != nil {
-		return nil, err
-	}
-	temp, err := measure(core.ReachConditions{DeltaTempC: deltaTemp})
-	if err != nil {
-		return nil, err
-	}
-	combined, err := measure(core.ReachConditions{
-		DeltaInterval: deltaInterval / 2,
-		DeltaTempC:    deltaTemp / 2,
-	})
+	// The three knob settings profile independent identically-seeded chips.
+	points, err := parallel.Map(context.Background(), 3, 0,
+		func(_ context.Context, i int) (KnobPoint, error) {
+			switch i {
+			case 0:
+				return measure(core.ReachConditions{DeltaInterval: deltaInterval})
+			case 1:
+				return measure(core.ReachConditions{DeltaTempC: deltaTemp})
+			default:
+				return measure(core.ReachConditions{
+					DeltaInterval: deltaInterval / 2,
+					DeltaTempC:    deltaTemp / 2,
+				})
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
 	return &KnobAblationResult{
-		IntervalOnly: interval,
-		TempOnly:     temp,
-		Combined:     combined,
+		IntervalOnly: points[0],
+		TempOnly:     points[1],
+		Combined:     points[2],
 	}, nil
 }

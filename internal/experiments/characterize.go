@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"cmp"
+	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"reaper/internal/core"
 	"reaper/internal/dram"
+	"reaper/internal/parallel"
 	"reaper/internal/patterns"
 	"reaper/internal/stats"
 )
@@ -32,6 +35,11 @@ type Fig2Config struct {
 	Iterations int
 	Chip       func(vendor dram.VendorParams, seed uint64) ChipSpec
 	Seed       uint64
+
+	// Workers bounds the pool running vendors concurrently; <= 0 means one
+	// worker per CPU. The per-vendor interval chain stays sequential (each
+	// interval's unique/repeat split depends on the lower intervals).
+	Workers int
 }
 
 // DefaultFig2Config mirrors the paper's interval range.
@@ -53,35 +61,46 @@ func Fig2RetentionDistribution(cfg Fig2Config) ([]Fig2Row, error) {
 			return c
 		}
 	}
-	var rows []Fig2Row
-	for vi, vendor := range dram.Vendors() {
-		spec := cfg.Chip(vendor, cfg.Seed+uint64(vi))
-		st, err := spec.NewStation()
-		if err != nil {
-			return nil, err
-		}
-		lower := core.NewFailureSet()
-		for _, interval := range cfg.Intervals {
-			res, err := core.BruteForce(st, interval, core.Options{
-				Iterations:              cfg.Iterations,
-				FreshRandomPerIteration: true,
-				Seed:                    cfg.Seed,
-			})
+	vendors := dram.Vendors()
+	perVendor, err := parallel.Map(context.Background(), len(vendors), cfg.Workers,
+		func(_ context.Context, vi int) ([]Fig2Row, error) {
+			vendor := vendors[vi]
+			spec := cfg.Chip(vendor, cfg.Seed+uint64(vi))
+			st, err := spec.NewStation()
 			if err != nil {
 				return nil, err
 			}
-			f := res.Failures
-			repeat := f.Intersect(lower).Len()
-			rows = append(rows, Fig2Row{
-				Vendor:    vendor.Name,
-				IntervalS: interval,
-				BER:       spec.EffectiveBER(f.Len()),
-				Unique:    f.Len() - repeat,
-				Repeat:    repeat,
-				NonRepeat: lower.Diff(f).Len(),
-			})
-			lower = lower.Union(f)
-		}
+			var rows []Fig2Row
+			lower := core.NewFailureSet()
+			for _, interval := range cfg.Intervals {
+				res, err := core.BruteForce(st, interval, core.Options{
+					Iterations:              cfg.Iterations,
+					FreshRandomPerIteration: true,
+					Seed:                    cfg.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				f := res.Failures
+				repeat := f.Intersect(lower).Len()
+				rows = append(rows, Fig2Row{
+					Vendor:    vendor.Name,
+					IntervalS: interval,
+					BER:       spec.EffectiveBER(f.Len()),
+					Unique:    f.Len() - repeat,
+					Repeat:    repeat,
+					NonRepeat: lower.Diff(f).Len(),
+				})
+				lower = lower.Union(f)
+			}
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig2Row
+	for _, vr := range perVendor {
+		rows = append(rows, vr...)
 	}
 	return rows, nil
 }
@@ -234,6 +253,10 @@ type Fig4Config struct {
 	Seed       uint64
 	ChipBits   int64
 	WeakScale  float64
+
+	// Workers bounds the pool running (vendor, interval) cells concurrently;
+	// <= 0 means one worker per CPU. Each cell builds its own chip.
+	Workers int
 }
 
 // DefaultFig4Config is a bench-scale sweep.
@@ -248,16 +271,19 @@ func DefaultFig4Config() Fig4Config {
 	}
 }
 
-// Fig4AccumulationRates measures and fits the per-vendor rates.
+// Fig4AccumulationRates measures and fits the per-vendor rates. Every
+// (vendor, interval) cell simulates an independent chip, so the whole grid
+// fans out on the pool.
 func Fig4AccumulationRates(cfg Fig4Config) ([]Fig4Row, error) {
-	var out []Fig4Row
-	for vi, vendor := range dram.Vendors() {
-		row := Fig4Row{Vendor: vendor.Name, Intervals: cfg.Intervals}
-		for _, interval := range cfg.Intervals {
+	vendors := dram.Vendors()
+	nI := len(cfg.Intervals)
+	rates, err := parallel.Map(context.Background(), len(vendors)*nI, cfg.Workers,
+		func(_ context.Context, job int) (float64, error) {
+			vi, interval := job/nI, cfg.Intervals[job%nI]
 			spec := ChipSpec{
 				Bits:      cfg.ChipBits,
 				WeakScale: cfg.WeakScale,
-				Vendor:    vendor,
+				Vendor:    vendors[vi],
 				Seed:      cfg.Seed + uint64(vi)*97 + uint64(interval*1000),
 			}
 			r, err := Fig3VRTAccumulation(Fig3Config{
@@ -267,13 +293,20 @@ func Fig4AccumulationRates(cfg Fig4Config) ([]Fig4Row, error) {
 				TotalSimHours: cfg.SimHours,
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			row.RatesPerHour = append(row.RatesPerHour,
-				r.SteadyStateCellsPerHour/cfg.WeakScale)
-			bytes := cfg.ChipBits / 8
+			return r.SteadyStateCellsPerHour / cfg.WeakScale, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig4Row
+	for vi, vendor := range vendors {
+		row := Fig4Row{Vendor: vendor.Name, Intervals: cfg.Intervals}
+		row.RatesPerHour = rates[vi*nI : (vi+1)*nI]
+		for _, interval := range cfg.Intervals {
 			row.AnalyticAnchor = append(row.AnalyticAnchor,
-				vendor.VRTRate(interval, dram.RefTempC, bytes))
+				vendor.VRTRate(interval, dram.RefTempC, cfg.ChipBits/8))
 		}
 		if fit, err := stats.FitPowerLaw(row.Intervals, row.RatesPerHour); err == nil {
 			row.Fit = fit
@@ -324,6 +357,10 @@ type Fig5Config struct {
 	Vendors    []dram.VendorParams
 	ChipBits   int64
 	WeakScale  float64
+
+	// Workers bounds the pool running vendors concurrently; <= 0 means one
+	// worker per CPU.
+	Workers int
 }
 
 // DefaultFig5Config is a bench-scale version of the paper's 800-iteration,
@@ -342,8 +379,25 @@ func DefaultFig5Config() Fig5Config {
 // Fig5PatternCoverage measures what fraction of all discovered failing
 // cells each data pattern finds on its own.
 func Fig5PatternCoverage(cfg Fig5Config) ([]Fig5Row, error) {
+	perVendor, err := parallel.Map(context.Background(), len(cfg.Vendors), cfg.Workers,
+		func(_ context.Context, vi int) ([]Fig5Row, error) {
+			return fig5Vendor(cfg, vi)
+		})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig5Row
-	for vi, vendor := range cfg.Vendors {
+	for _, vr := range perVendor {
+		out = append(out, vr...)
+	}
+	return out, nil
+}
+
+// fig5Vendor runs the Figure 5 pattern study for one vendor's chip.
+func fig5Vendor(cfg Fig5Config, vi int) ([]Fig5Row, error) {
+	var out []Fig5Row
+	{
+		vendor := cfg.Vendors[vi]
 		spec := ChipSpec{Bits: cfg.ChipBits, WeakScale: cfg.WeakScale,
 			Vendor: vendor, Seed: cfg.Seed + uint64(vi)*31}
 		st, err := spec.NewStation()
@@ -503,7 +557,7 @@ func Fig6CellCDFs(cfg Fig6Config) (*Fig6Result, error) {
 			sample = append(sample, c)
 		}
 	}
-	sort.Slice(sample, func(i, j int) bool { return sample[i].Mu < sample[j].Mu })
+	slices.SortFunc(sample, func(a, b dram.CellInfo) int { return cmp.Compare(a.Mu, b.Mu) })
 	if len(sample) > cfg.SampleCells {
 		stride := len(sample) / cfg.SampleCells
 		picked := make([]dram.CellInfo, 0, cfg.SampleCells)

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Determinism regression tests: the headline guarantee of the parallel
+// fleet engine is that results are byte-identical to sequential execution
+// at any worker count. These tests run the two flagship fleet sweeps
+// (PopulationSweep and the Fig 9/10 tradeoff grid) at workers=1 and
+// workers=8 and require deep-equal results. They also run under
+// `go test -race`, exercising the pool paths for data races.
+
+func TestPopulationSweepDeterministic(t *testing.T) {
+	cfg := DefaultPopulationConfig()
+	cfg.ChipsPerVendor = 3
+	cfg.ChipBits = 8 << 20
+
+	cfg.Workers = 1
+	seq, err := PopulationSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := PopulationSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("population sweep differs between workers=1 and workers=8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestTradeoffGridDeterministic(t *testing.T) {
+	cfg := DefaultFig9Config()
+	cfg.Chip.Bits = 8 << 20
+	cfg.DeltaIntervals = []float64{0, 0.25, 0.5}
+	cfg.DeltaTemps = []float64{0, 5}
+	cfg.Iterations = 4
+	cfg.MaxIterations = 8
+
+	cfg.Workers = 1
+	seq, err := Fig9Fig10Tradeoff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Fig9Fig10Tradeoff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("tradeoff grid differs between workers=1 and workers=8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestFig13Deterministic covers the shared-cache case: parallel mixes
+// share an AloneIPCCache, which must not make results order-dependent.
+func TestFig13Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := DefaultFig13Config()
+	cfg.ChipGbs = []int{8}
+	cfg.Intervals = []float64{0.512, 1.024}
+	cfg.Mixes = 4
+	cfg.InstructionsPerCore = 50_000
+
+	cfg.Workers = 1
+	seq, err := Fig13EndToEnd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := Fig13EndToEnd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fig13 differs between workers=1 and workers=8:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"reaper/internal/dram"
 	"reaper/internal/ecc"
 	"reaper/internal/longevity"
+	"reaper/internal/parallel"
 	"reaper/internal/perfmodel"
 	"reaper/internal/power"
 	"reaper/internal/stats"
@@ -201,6 +203,11 @@ type Fig13Config struct {
 	ReaperSpeedup       float64
 	Vendor              dram.VendorParams
 	Seed                uint64
+
+	// Workers bounds the pool simulating workload mixes concurrently; <= 0
+	// means one worker per CPU. Each mix simulation is pure, so results are
+	// identical at any worker count.
+	Workers int
 }
 
 // DefaultFig13Config mirrors the paper's setup at bench scale.
@@ -277,25 +284,35 @@ func Fig13EndToEnd(cfg Fig13Config) ([]Fig13Cell, error) {
 			}
 			scfg.InstructionsPerCore = cfg.InstructionsPerCore
 			scfg.Seed = cfg.Seed
+			// Mixes are independent pure simulations; fan them out.
+			type mixOut struct{ ws, power float64 }
+			per, err := parallel.Map(context.Background(), len(mixes), cfg.Workers,
+				func(_ context.Context, i int) (mixOut, error) {
+					mix := mixes[i]
+					res, err := sysperf.Simulate(mix, scfg)
+					if err != nil {
+						return mixOut{}, err
+					}
+					ws, err := sysperf.WeightedSpeedup(res, mix, baseAlone.IPC)
+					if err != nil {
+						return mixOut{}, err
+					}
+					// Scale request traffic to the module: the simulator's
+					// requests are 64B cache lines.
+					dur := res.DurationSec
+					rbps := float64(res.Traffic.Reads) * 64 / dur
+					wbps := float64(res.Traffic.Writes) * 64 / dur
+					aps := float64(res.Traffic.Activations) / dur
+					b := pp.SystemPower(moduleBytes, tREFI, rbps, wbps, aps)
+					return mixOut{ws: ws, power: b.TotalW()}, nil
+				})
+			if err != nil {
+				return simOut{}, err
+			}
 			var out simOut
-			for _, mix := range mixes {
-				res, err := sysperf.Simulate(mix, scfg)
-				if err != nil {
-					return simOut{}, err
-				}
-				ws, err := sysperf.WeightedSpeedup(res, mix, baseAlone.IPC)
-				if err != nil {
-					return simOut{}, err
-				}
-				out.ws = append(out.ws, ws)
-				// Scale request traffic to the module: the simulator's
-				// requests are 64B cache lines.
-				dur := res.DurationSec
-				rbps := float64(res.Traffic.Reads) * 64 / dur
-				wbps := float64(res.Traffic.Writes) * 64 / dur
-				aps := float64(res.Traffic.Activations) / dur
-				b := pp.SystemPower(moduleBytes, tREFI, rbps, wbps, aps)
-				out.power = append(out.power, b.TotalW())
+			for _, m := range per {
+				out.ws = append(out.ws, m.ws)
+				out.power = append(out.power, m.power)
 			}
 			return out, nil
 		}

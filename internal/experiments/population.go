@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"reaper/internal/core"
 	"reaper/internal/dram"
+	"reaper/internal/parallel"
 	"reaper/internal/stats"
 )
 
@@ -27,6 +29,11 @@ type PopulationConfig struct {
 	ChipBits       int64
 	WeakScale      float64
 	Seed           uint64
+
+	// Workers bounds the worker pool evaluating chips concurrently; <= 0
+	// means one worker per CPU. Each chip owns its own device and RNG seed,
+	// so the results are identical at any worker count.
+	Workers int
 }
 
 // DefaultPopulationConfig is a bench-scale fleet.
@@ -65,15 +72,21 @@ type PopulationResult struct {
 }
 
 // PopulationSweep evaluates a fleet of chips per vendor and aggregates.
+// Chips are evaluated on the parallel fleet engine; every chip owns a
+// disjoint simulated device and RNG seed, so results are byte-identical to
+// a sequential sweep regardless of cfg.Workers.
 func PopulationSweep(cfg PopulationConfig) ([]PopulationResult, error) {
 	if cfg.ChipsPerVendor <= 0 {
 		return nil, fmt.Errorf("experiments: fleet size must be positive")
 	}
-	var out []PopulationResult
-	for vi, vendor := range dram.Vendors() {
-		res := PopulationResult{Vendor: vendor.Name, AllChipsAgree: true, CoverageMin: 1}
-		var bers, covs, fprs []float64
-		for c := 0; c < cfg.ChipsPerVendor; c++ {
+	vendors := dram.Vendors()
+	// Flatten the vendor x chip fleet into one job list so a small fleet of
+	// large chips still saturates the pool.
+	n := len(vendors) * cfg.ChipsPerVendor
+	chips, err := parallel.Map(context.Background(), n, cfg.Workers,
+		func(_ context.Context, job int) (ChipResult, error) {
+			vi, c := job/cfg.ChipsPerVendor, job%cfg.ChipsPerVendor
+			vendor := vendors[vi]
 			seed := cfg.Seed + uint64(vi)*1000 + uint64(c)
 			spec := ChipSpec{
 				Bits:      cfg.ChipBits,
@@ -83,7 +96,7 @@ func PopulationSweep(cfg PopulationConfig) ([]PopulationResult, error) {
 			}
 			st, err := spec.NewStation()
 			if err != nil {
-				return nil, err
+				return ChipResult{}, err
 			}
 			truth := core.Truth(st, cfg.TargetInterval, 45)
 			prof, err := core.Reach(st, cfg.TargetInterval, cfg.Reach, core.Options{
@@ -92,15 +105,24 @@ func PopulationSweep(cfg PopulationConfig) ([]PopulationResult, error) {
 				Seed:                    seed,
 			})
 			if err != nil {
-				return nil, err
+				return ChipResult{}, err
 			}
-			cr := ChipResult{
+			return ChipResult{
 				Vendor:   vendor.Name,
 				Seed:     seed,
 				BER1024:  spec.EffectiveBER(truth.Len()),
 				Coverage: core.Coverage(prof.Failures, truth),
 				FPR:      core.FalsePositiveRate(prof.Failures, truth),
-			}
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []PopulationResult
+	for vi, vendor := range vendors {
+		res := PopulationResult{Vendor: vendor.Name, AllChipsAgree: true, CoverageMin: 1}
+		var bers, covs, fprs []float64
+		for _, cr := range chips[vi*cfg.ChipsPerVendor : (vi+1)*cfg.ChipsPerVendor] {
 			res.Chips = append(res.Chips, cr)
 			bers = append(bers, cr.BER1024)
 			covs = append(covs, cr.Coverage)

@@ -24,6 +24,10 @@ type Fig9Config struct {
 	CoverageGoal   float64
 	MaxIterations  int
 	Seed           uint64
+
+	// Workers bounds the pool exploring grid points concurrently; <= 0
+	// means one worker per CPU. Results are identical at any worker count.
+	Workers int
 }
 
 // DefaultFig9Config mirrors the paper's grid around a 1024 ms target.
@@ -54,6 +58,7 @@ func Fig9Fig10Tradeoff(cfg Fig9Config) ([]core.TradeoffPoint, error) {
 		Iterations:     cfg.Iterations,
 		CoverageGoal:   cfg.CoverageGoal,
 		MaxIterations:  cfg.MaxIterations,
+		Workers:        cfg.Workers,
 		Options: core.Options{
 			FreshRandomPerIteration: true,
 			Seed:                    cfg.Seed,

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"reaper/internal/dram"
 	"reaper/internal/patterns"
@@ -78,8 +80,22 @@ func UBERValidation(cfg UBERValidationConfig) (*UBERValidationResult, error) {
 		key := [2]uint64{uint64(geom.GlobalRow(a.Bank, a.Row)), uint64(a.Word)}
 		cellsByWord[key] = append(cellsByWord[key], c)
 	}
+	// Iterate words in sorted key order: map order is randomized, and with
+	// the MaxWords cut below a random order would make the selected word set
+	// (and the whole experiment) nondeterministic run to run.
+	keys := make([][2]uint64, 0, len(cellsByWord))
+	for key := range cellsByWord {
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, func(a, b [2]uint64) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a[1], b[1])
+	})
 	var words []wordInfo
-	for key, cells := range cellsByWord {
+	for _, key := range keys {
+		cells := cellsByWord[key]
 		if len(cells) < 2 {
 			continue
 		}

@@ -1,9 +1,10 @@
 package mitigate
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"reaper/internal/core"
 	"reaper/internal/dram"
@@ -43,7 +44,7 @@ func NewRAPID(geom dram.Geometry, defaultInterval float64, levels []float64, pro
 	if defaultInterval <= 0 {
 		return nil, fmt.Errorf("mitigate: RAPID default interval must be positive")
 	}
-	if len(levels) == 0 || !sort.Float64sAreSorted(levels) || levels[0] <= 0 {
+	if len(levels) == 0 || !slices.IsSorted(levels) || levels[0] <= 0 {
 		return nil, fmt.Errorf("mitigate: RAPID needs ascending positive levels, got %v", levels)
 	}
 	if profileAt == nil {
@@ -95,8 +96,8 @@ func NewRAPID(geom dram.Geometry, defaultInterval float64, levels []float64, pro
 	for i := range r.strongestFirst {
 		r.strongestFirst[i] = uint32(i)
 	}
-	sort.SliceStable(r.strongestFirst, func(i, j int) bool {
-		return r.safeInterval[r.strongestFirst[i]] > r.safeInterval[r.strongestFirst[j]]
+	slices.SortStableFunc(r.strongestFirst, func(a, b uint32) int {
+		return cmp.Compare(r.safeInterval[b], r.safeInterval[a])
 	})
 	return r, nil
 }
@@ -110,8 +111,8 @@ func (r *RAPID) Allocate(n int) ([]uint32, error) {
 	var out []uint32
 	// Reuse freed rows first (they are at least as strong as the next
 	// fresh row was when they were handed out; re-sort for strength).
-	sort.SliceStable(r.freed, func(i, j int) bool {
-		return r.safeInterval[r.freed[i]] > r.safeInterval[r.freed[j]]
+	slices.SortStableFunc(r.freed, func(a, b uint32) int {
+		return cmp.Compare(r.safeInterval[b], r.safeInterval[a])
 	})
 	for len(out) < n && len(r.freed) > 0 {
 		row := r.freed[0]

@@ -1,0 +1,47 @@
+package module
+
+import (
+	"reflect"
+	"testing"
+
+	"reaper/internal/patterns"
+)
+
+// TestModuleParallelDeterministic runs identical profiling passes on two
+// identically seeded modules — one with a single worker, one with eight —
+// and requires byte-identical failure lists and truth sets. Each chip owns
+// its own device and RNG, so the per-chip pool must not change any result.
+func TestModuleParallelDeterministic(t *testing.T) {
+	run := func(workers int) ([][]uint64, []uint64) {
+		m := testModule(t, 4, 77)
+		m.SetWorkers(workers)
+		var passes [][]uint64
+		for _, p := range []patterns.Pattern{
+			patterns.Solid1(), patterns.Checkerboard(), patterns.Random(5),
+		} {
+			m.WritePattern(p)
+			m.DisableRefresh()
+			m.Wait(2.048)
+			m.EnableRefresh()
+			passes = append(passes, m.ReadCompare())
+		}
+		return passes, m.Truth(1.024, 45).Sorted()
+	}
+	seqPasses, seqTruth := run(1)
+	parPasses, parTruth := run(8)
+	if !reflect.DeepEqual(seqPasses, parPasses) {
+		t.Fatal("ReadCompare results differ between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(seqTruth, parTruth) {
+		t.Fatal("Truth differs between workers=1 and workers=8")
+	}
+	// The concatenated global failure lists must come back sorted (the
+	// no-final-sort fast path relies on chip-major address composition).
+	for _, pass := range parPasses {
+		for i := 1; i < len(pass); i++ {
+			if pass[i-1] > pass[i] {
+				t.Fatalf("ReadCompare result not sorted at %d", i)
+			}
+		}
+	}
+}

@@ -7,12 +7,13 @@
 package module
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"reaper/internal/core"
 	"reaper/internal/dram"
 	"reaper/internal/memctrl"
+	"reaper/internal/parallel"
 	"reaper/internal/thermal"
 )
 
@@ -39,6 +40,7 @@ type Module struct {
 	refresh bool
 	stats   memctrl.Stats
 	ambient float64
+	workers int
 }
 
 // New builds a module over the devices. All devices must share a geometry.
@@ -71,6 +73,26 @@ func New(devs []*dram.Device, chamber *thermal.Chamber, timing memctrl.Timing) (
 	}
 	m.syncTemp()
 	return m, nil
+}
+
+// SetWorkers bounds the worker pool used for per-chip bulk operations
+// (ReadCompare, refresh restores, Truth); <= 0 means one worker per CPU.
+// Each chip is a disjoint simulated device with its own RNG, so results are
+// identical at any worker count.
+func (m *Module) SetWorkers(n int) { m.workers = n }
+
+// forEachChip runs fn over every device on the module's worker pool. The
+// per-chip simulations have no error path; a panic in fn is captured by the
+// pool and re-raised here so it is not lost on a worker goroutine.
+func (m *Module) forEachChip(fn func(ci int, dev *dram.Device)) {
+	err := parallel.ForEach(context.Background(), len(m.devs), m.workers,
+		func(_ context.Context, ci int) error {
+			fn(ci, m.devs[ci])
+			return nil
+		})
+	if err != nil {
+		panic(err)
+	}
 }
 
 // Chips returns the number of devices in the module.
@@ -146,9 +168,8 @@ func (m *Module) DisableRefresh() {
 // any failures that accumulated while paused (see memctrl.Station).
 func (m *Module) EnableRefresh() {
 	if !m.refresh {
-		for _, d := range m.devs {
-			d.RestoreAll(m.clock.Now())
-		}
+		now := m.clock.Now()
+		m.forEachChip(func(_ int, d *dram.Device) { d.RestoreAll(now) })
 	}
 	m.refresh = true
 	for _, d := range m.devs {
@@ -164,9 +185,8 @@ func (m *Module) SetRefreshInterval(interval float64) {
 		return
 	}
 	if !m.refresh {
-		for _, d := range m.devs {
-			d.RestoreAll(m.clock.Now())
-		}
+		now := m.clock.Now()
+		m.forEachChip(func(_ int, d *dram.Device) { d.RestoreAll(now) })
 	}
 	m.refresh = true
 	for _, d := range m.devs {
@@ -181,9 +201,8 @@ func (m *Module) SetRefreshInterval(interval float64) {
 func (m *Module) WritePattern(p dram.RowData) {
 	d := m.timing.PassSeconds(m.TotalBytes())
 	m.advance(d)
-	for _, dev := range m.devs {
-		dev.WriteAll(p, m.clock.Now())
-	}
+	now := m.clock.Now()
+	m.forEachChip(func(_ int, dev *dram.Device) { dev.WriteAll(p, now) })
 	m.stats.WriteSeconds += d
 	m.stats.WritePasses++
 	m.stats.BytesWritten += m.TotalBytes()
@@ -203,29 +222,44 @@ func (m *Module) Wait(seconds float64) {
 }
 
 // ReadCompare reads every chip back and returns the failing cells as
-// module-global addresses.
+// module-global addresses. Chips are read on the worker pool; each chip's
+// failure list is ascending and the chip index occupies the high address
+// bits, so concatenating the per-chip lists in chip order yields the
+// globally sorted result without a final sort.
 func (m *Module) ReadCompare() []uint64 {
 	d := m.timing.PassSeconds(m.TotalBytes())
 	m.advance(d)
-	var fails []uint64
-	for ci, dev := range m.devs {
-		for _, bit := range dev.ReadCompareAll(m.clock.Now()) {
-			fails = append(fails, GlobalBit(ci, bit))
+	now := m.clock.Now()
+	perChip := make([][]uint64, len(m.devs))
+	m.forEachChip(func(ci int, dev *dram.Device) {
+		bits := dev.ReadCompareAll(now)
+		global := make([]uint64, len(bits))
+		for i, bit := range bits {
+			global[i] = GlobalBit(ci, bit)
 		}
+		perChip[ci] = global
+	})
+	var fails []uint64
+	for _, g := range perChip {
+		fails = append(fails, g...)
 	}
 	m.stats.ReadSeconds += d
 	m.stats.ReadPasses++
 	m.stats.BytesRead += m.TotalBytes()
-	sort.Slice(fails, func(i, j int) bool { return fails[i] < fails[j] })
 	return fails
 }
 
 // Truth returns the module-wide ground-truth failing set at the target
 // conditions (the union of every chip's oracle, chip-offset).
 func (m *Module) Truth(targetInterval, targetTempC float64) *core.FailureSet {
+	now := m.clock.Now()
+	perChip := make([][]uint64, len(m.devs))
+	m.forEachChip(func(ci int, dev *dram.Device) {
+		perChip[ci] = dev.TrueFailingSet(targetInterval, targetTempC, now, dram.OracleThreshold)
+	})
 	out := core.NewFailureSet()
-	for ci, dev := range m.devs {
-		for _, bit := range dev.TrueFailingSet(targetInterval, targetTempC, m.clock.Now(), dram.OracleThreshold) {
+	for ci, bits := range perChip {
+		for _, bit := range bits {
 			out.Add(GlobalBit(ci, bit))
 		}
 	}

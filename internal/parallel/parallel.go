@@ -1,0 +1,153 @@
+// Package parallel is the fleet execution engine: a bounded worker pool
+// that runs independent jobs concurrently while preserving deterministic,
+// submission-ordered results.
+//
+// The determinism contract every caller in this repository relies on:
+// results are byte-identical to sequential execution at any worker count.
+// That holds by construction when each job owns disjoint state — in the
+// REAPER experiments every simulated chip or grid point owns its own
+// dram.Device and rng.Source seed, so jobs never share mutable state — and
+// because this package always delivers results in submission order, never
+// completion order.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes a
+// non-positive count: one worker per logical CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// clampWorkers resolves a requested worker count against the job count.
+func clampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// PanicError wraps a panic recovered from a worker goroutine so callers see
+// it as an error (with the worker's stack) instead of a crashed process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Map runs fn(ctx, i) for i in [0, n) on at most workers goroutines and
+// returns the results indexed by i — exactly what sequential execution
+// would produce, regardless of worker count or completion order.
+//
+// On the first error (or panic, surfaced as *PanicError) the context passed
+// to jobs is cancelled and Map returns the error from the lowest job index
+// that failed, so the reported error is deterministic too. Results computed
+// before cancellation are discarded.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = clampWorkers(workers, n)
+	out := make([]T, n)
+	if workers == 1 {
+		// Plain sequential loop: the reference semantics the pool must match.
+		for i := 0; i < n; i++ {
+			v, err := run(ctx, i, fn)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // next job index to claim
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstI   = n // lowest failed job index seen so far
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstI {
+			firstI, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					fail(i, ctx.Err())
+					return
+				}
+				v, err := run(ctx, i, fn)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// run invokes fn for one job index, converting a panic into a *PanicError.
+func run[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// ForEach is Map for jobs that write their results into caller-owned slots
+// (each job must touch only its own index's state).
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, n, workers, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// Do runs a fixed set of independent thunks (e.g. the arms of an ablation)
+// and returns the first error by position.
+func Do(ctx context.Context, workers int, fns ...func(ctx context.Context) error) error {
+	return ForEach(ctx, len(fns), workers, func(ctx context.Context, i int) error {
+		return fns[i](ctx)
+	})
+}

@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapMatchesSequential(t *testing.T) {
+	const n = 257
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64, n + 5} {
+		got, err := Map(context.Background(), n, workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from sequential", workers)
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(context.Background(), 0, 8, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Jobs 10, 40, 70 fail; the reported error must be job 10's at any
+	// worker count (the error sequential execution would hit first).
+	wantErr := errors.New("job 10")
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(context.Background(), 100, workers, func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 10:
+				return 0, wantErr
+			case 40, 70:
+				return 0, fmt.Errorf("job %d", i)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, wantErr)
+		}
+	}
+}
+
+func TestMapPanicCapture(t *testing.T) {
+	_, err := Map(context.Background(), 8, 4, func(_ context.Context, i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {%v, %d stack bytes}", pe.Value, len(pe.Stack))
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := Map(ctx, 10_000, 4, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == 10 {
+			cancel()
+		}
+		return i, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started.Load() == 10_000 {
+		t.Fatal("cancellation did not stop job dispatch")
+	}
+}
+
+func TestForEachAndDo(t *testing.T) {
+	out := make([]int, 50)
+	if err := ForEach(context.Background(), len(out), 8, func(_ context.Context, i int) error {
+		out[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+
+	var a, b atomic.Bool
+	if err := Do(context.Background(), 2,
+		func(context.Context) error { a.Store(true); return nil },
+		func(context.Context) error { b.Store(true); return nil },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Load() || !b.Load() {
+		t.Fatal("Do skipped a thunk")
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

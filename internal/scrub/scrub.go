@@ -86,7 +86,7 @@ func sortAddrs(addrs []mitigate.WordAddr) {
 		}
 		return a.Word < b.Word
 	}
-	// Insertion-free: use sort.Slice via closure.
+	// Insertion-free: delegate to the shared slices.SortFunc wrapper.
 	sortSlice(addrs, less)
 }
 

@@ -20,6 +20,7 @@ package sysperf
 
 import (
 	"fmt"
+	"sync"
 
 	"reaper/internal/rng"
 	"reaper/internal/workload"
@@ -347,9 +348,12 @@ func WeightedSpeedup(shared Result, mix []workload.Spec, aloneIPC func(workload.
 }
 
 // AloneIPCCache memoizes alone-mode runs per (spec, config) so mix sweeps do
-// not repeat them.
+// not repeat them. It is safe for concurrent use: Simulate is a pure
+// function of (spec, config), so losing a fill race just recomputes the
+// same value — cached results are independent of call order.
 type AloneIPCCache struct {
 	cfg   Config
+	mu    sync.Mutex
 	cache map[string]float64
 }
 
@@ -360,13 +364,18 @@ func NewAloneIPCCache(cfg Config) *AloneIPCCache {
 
 // IPC returns the alone-mode IPC of a spec under the cache's configuration.
 func (a *AloneIPCCache) IPC(spec workload.Spec) (float64, error) {
-	if v, ok := a.cache[spec.Name]; ok {
+	a.mu.Lock()
+	v, ok := a.cache[spec.Name]
+	a.mu.Unlock()
+	if ok {
 		return v, nil
 	}
 	res, err := Simulate([]workload.Spec{spec}, a.cfg)
 	if err != nil {
 		return 0, err
 	}
+	a.mu.Lock()
 	a.cache[spec.Name] = res.IPC[0]
+	a.mu.Unlock()
 	return res.IPC[0], nil
 }
