@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-parallel
+.PHONY: all build vet test race check bench bench-parallel soak-quick
 
 all: check
 
@@ -21,7 +21,13 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-check: build vet race
+# soak-quick runs a short deterministic fault-injection soak (2 chips,
+# 48 simulated hours, pinned seed) and fails if the resilience controller
+# lets any chip's UBER exceed the budget (cmd/soak exits non-zero).
+soak-quick:
+	$(GO) run ./cmd/soak -quick -seed 1 -out /dev/null
+
+check: build vet race soak-quick
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -64,7 +64,13 @@ func main() {
 		fmt.Printf("module: %d chips x %v, vendor %s\n",
 			mod.Chips(), mod.Device(0).Geometry(), vendor.Name)
 		st = mod
-		truthAt = mod.Truth
+		truthAt = func(interval, tempC float64) *reaper.FailureSet {
+			set, err := mod.Truth(interval, tempC)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return set
+		}
 	} else {
 		station, err := reaper.NewStation(cfg)
 		if err != nil {

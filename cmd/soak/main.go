@@ -1,0 +1,97 @@
+// Command soak runs a long-horizon fault-injection campaign against a fleet
+// of simulated chips operating at an extended refresh interval, with the
+// firmware resilience controller defending the ECC budget (or not, with
+// -baseline), and emits a JSON survival report.
+//
+// Exit status: 0 when every chip's cumulative UBER stays within -max-uber,
+// 1 when the fleet violates it, 2 on configuration or runtime errors.
+//
+// Usage:
+//
+//	soak [-chips N] [-hours H] [-window H] [-seed S] [-workers N]
+//	     [-target ms] [-max-uber F] [-baseline] [-quick] [-out file.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"reaper/internal/experiments"
+	"reaper/internal/parallel"
+)
+
+func main() {
+	chips := flag.Int("chips", 4, "fleet size")
+	hours := flag.Float64("hours", 14*24, "soak horizon, simulated hours")
+	window := flag.Float64("window", 1, "scrub window, hours")
+	seed := flag.Uint64("seed", 1, "campaign seed (report is bit-identical per seed)")
+	workers := flag.Int("workers", parallel.DefaultWorkers(),
+		"fleet worker pool size (results are identical at any count)")
+	targetMs := flag.Float64("target", 1024, "extended refresh interval, ms")
+	maxUBER := flag.Float64("max-uber", 1e-4, "survival criterion: max cumulative UBER")
+	baseline := flag.Bool("baseline", false, "disable the resilience controller (open-loop baseline)")
+	quick := flag.Bool("quick", false, "short deterministic soak (2 chips, 48 hours)")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	cfg := experiments.DefaultSoakConfig(*seed)
+	cfg.Chips = *chips
+	cfg.Hours = *hours
+	cfg.WindowHours = *window
+	cfg.Workers = *workers
+	cfg.TargetInterval = *targetMs / 1000
+	cfg.MaxUBER = *maxUBER
+	cfg.Controller = !*baseline
+	if *quick {
+		cfg.Chips = 2
+		cfg.Hours = 48
+	}
+
+	rep, err := experiments.Soak(context.Background(), cfg)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+
+	controller := "resilience controller ON"
+	if !rep.Controller {
+		controller = "open-loop baseline (controller OFF)"
+	}
+	fmt.Fprintf(os.Stderr, "soak: %d chips x %.0f h at %.0f ms, %s\n",
+		rep.Chips, rep.Hours, rep.TargetInterval*1000, controller)
+	for _, c := range rep.ChipReports {
+		fmt.Fprintf(os.Stderr,
+			"  chip %d: UBER %.3g (max %.3g), %d/%d UE windows, %d rounds (%d early, %d aborted), "+
+				"final interval %.0f ms, %.0f%% time extended\n",
+			c.Chip, c.UBER, rep.MaxUBER, c.ViolationWindows, c.Windows,
+			c.Rounds, c.EarlyRounds, c.Aborts, c.FinalIntervalMs, c.ExtendedFraction*100)
+	}
+	verdict := "SURVIVED"
+	if !rep.Survived {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(os.Stderr, "fleet %s: worst UBER %.3g vs budget %.3g, %.0f%% mean time at extended interval\n",
+		verdict, rep.WorstUBER, rep.MaxUBER, rep.MeanExtendedFraction*100)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if !rep.Survived {
+		os.Exit(1)
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -85,7 +86,7 @@ func main() {
 	fmt.Printf("reprofiling cadence from Eq 7 (99%% coverage, /2 safety): every %.1f hours\n",
 		mgr.CadenceHours())
 
-	if err := mgr.RunFor(simHours, 1800); err != nil {
+	if err := mgr.RunFor(context.Background(), simHours, 1800); err != nil {
 		log.Fatal(err)
 	}
 

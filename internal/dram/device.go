@@ -192,10 +192,7 @@ func (d *Device) sampleWeakPopulation() {
 
 // samplePowerLaw draws t in [tmin, tmax] with CDF proportional to t^beta.
 func (d *Device) samplePowerLaw(tmin, tmax, beta float64) float64 {
-	u := d.src.Float64()
-	lo := math.Pow(tmin, beta)
-	hi := math.Pow(tmax, beta)
-	return math.Pow(lo+u*(hi-lo), 1/beta)
+	return powerLawSample(d.src, tmin, tmax, beta)
 }
 
 // addWeakCell creates one weak cell at a fresh random bit position.

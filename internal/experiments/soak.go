@@ -1,0 +1,450 @@
+package experiments
+
+// Long-horizon soak campaigns: a fleet of chips runs for simulated weeks at
+// an extended refresh interval while a fault injector drives the Section
+// 2.3 hazards against them, and the firmware resilience controller (or,
+// for the baseline, nothing) defends the ECC budget. The survival report
+// quantifies what the paper argues qualitatively: active profiling plus a
+// closed loop on scrub telemetry keeps the uncorrectable bit error rate
+// inside the target, while an open-loop system accumulates escapes until
+// SECDED is overwhelmed.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+
+	"reaper/internal/core"
+	"reaper/internal/dram"
+	"reaper/internal/faultinject"
+	"reaper/internal/firmware"
+	"reaper/internal/memctrl"
+	"reaper/internal/mitigate"
+	"reaper/internal/parallel"
+	"reaper/internal/rng"
+	"reaper/internal/scrub"
+)
+
+// SoakConfig configures a fleet soak campaign.
+type SoakConfig struct {
+	// Chips is the fleet size; each chip gets a derived seed, its own
+	// station, injector, mitigation stack, and firmware manager.
+	Chips int `json:"chips"`
+	// Seed drives the whole campaign (chip seeds and scenario seeds are
+	// split from it).
+	Seed uint64 `json:"seed"`
+	// Hours is the soak horizon in simulated hours.
+	Hours float64 `json:"hours"`
+	// WindowHours is the scrub window (one ECC sweep + telemetry report
+	// per window). Defaults to 1.
+	WindowHours float64 `json:"window_hours"`
+	// TargetInterval is the extended refresh interval under test.
+	TargetInterval float64 `json:"target_interval"`
+	// CadenceHours is the open-loop reprofiling cadence.
+	CadenceHours float64 `json:"cadence_hours"`
+	// Scenario overrides the fault scenario; nil uses DefaultScenario
+	// (per-chip seeds are always re-derived from Seed).
+	Scenario *faultinject.Scenario `json:"scenario,omitempty"`
+	// Controller enables the firmware resilience controller. Off = the
+	// open-loop baseline arm.
+	Controller bool `json:"controller"`
+	// MaxUBER is the survival criterion: a chip survives if its
+	// cumulative uncorrectable bit error rate stays at or below this.
+	MaxUBER float64 `json:"max_uber"`
+	// Workers sizes the fleet worker pool (0 = NumCPU). Results are
+	// identical at any worker count.
+	Workers int `json:"workers"`
+	// Chip is the base chip spec; Seed and Chamber are overridden per
+	// chip (soak chips are chamber-less so injected thermal excursions
+	// control the ambient directly).
+	Chip ChipSpec `json:"-"`
+	// SpareFraction sizes the ArchShield reserved segment. Defaults 0.04.
+	SpareFraction float64 `json:"spare_fraction"`
+	// ResidentWords caps the resident data set per chip. Defaults to 96.
+	ResidentWords int `json:"resident_words"`
+}
+
+// DefaultSoakConfig is the standard two-week fleet soak at 1024 ms under
+// the default fault scenario.
+func DefaultSoakConfig(seed uint64) SoakConfig {
+	return SoakConfig{
+		Chips:          4,
+		Seed:           seed,
+		Hours:          14 * 24,
+		WindowHours:    1,
+		TargetInterval: 1.024,
+		CadenceHours:   24,
+		Controller:     true,
+		MaxUBER:        1e-4,
+		Chip:           ChipSpec{Bits: 8 << 20, WeakScale: 20, Vendor: dram.VendorB()},
+		SpareFraction:  0.04,
+		ResidentWords:  96,
+	}
+}
+
+func (c *SoakConfig) fillDefaults() error {
+	if c.Chips <= 0 {
+		return fmt.Errorf("soak: need at least one chip")
+	}
+	if c.Hours <= 0 {
+		return fmt.Errorf("soak: non-positive horizon")
+	}
+	if c.TargetInterval <= 0 {
+		return fmt.Errorf("soak: non-positive target interval")
+	}
+	if c.WindowHours <= 0 {
+		c.WindowHours = 1
+	}
+	if c.CadenceHours <= 0 {
+		c.CadenceHours = 24
+	}
+	if c.MaxUBER <= 0 {
+		c.MaxUBER = 1e-4
+	}
+	if c.SpareFraction <= 0 {
+		c.SpareFraction = 0.04
+	}
+	if c.ResidentWords <= 0 {
+		c.ResidentWords = 96
+	}
+	if c.Chip.Bits == 0 {
+		c.Chip = DefaultSoakConfig(c.Seed).Chip
+	}
+	return nil
+}
+
+// ChipSoakReport is one chip's survival record.
+type ChipSoakReport struct {
+	Chip int    `json:"chip"`
+	Seed uint64 `json:"seed"`
+
+	Windows          int     `json:"windows"`
+	ViolationWindows int     `json:"violation_windows"` // windows with >= 1 UE
+	UEEvents         int     `json:"ue_events"`         // word-level UE observations
+	CorrectedTotal   int     `json:"corrected_total"`
+	WordsScanned     int64   `json:"words_scanned"`
+	UBER             float64 `json:"uber"`
+	Survived         bool    `json:"survived"`
+
+	Rounds            int     `json:"rounds"`
+	EarlyRounds       int     `json:"early_rounds"`
+	Aborts            int     `json:"aborts"`
+	WidenSteps        int     `json:"widen_steps"`
+	DegradeEvents     int     `json:"degrade_events"`
+	RecoverEvents     int     `json:"recover_events"`
+	FinalDegradeLevel int     `json:"final_degrade_level"`
+	FinalIntervalMs   float64 `json:"final_interval_ms"`
+	SparesExhausted   bool    `json:"spares_exhausted"`
+	ExtendedFraction  float64 `json:"extended_fraction"`
+
+	FaultCounts      map[string]int      `json:"fault_counts"`
+	FaultEvents      []faultinject.Event `json:"fault_events"`
+	ControllerEvents []firmware.Event    `json:"controller_events"`
+}
+
+// SoakReport is the campaign's survival report (serializable to JSON).
+type SoakReport struct {
+	Chips          int     `json:"chips"`
+	Seed           uint64  `json:"seed"`
+	Hours          float64 `json:"hours"`
+	WindowHours    float64 `json:"window_hours"`
+	TargetInterval float64 `json:"target_interval"`
+	Controller     bool    `json:"controller"`
+	MaxUBER        float64 `json:"max_uber"`
+
+	Survived             bool    `json:"survived"` // every chip within MaxUBER
+	WorstUBER            float64 `json:"worst_uber"`
+	TotalUEEvents        int     `json:"total_ue_events"`
+	TotalViolationWindow int     `json:"total_violation_windows"`
+	MeanExtendedFraction float64 `json:"mean_extended_fraction"`
+
+	ChipReports []ChipSoakReport `json:"chip_reports"`
+}
+
+// Soak runs the campaign. Chips run concurrently on a worker pool; each
+// chip's simulation is fully sequential and seeded independently, so the
+// report is bit-for-bit identical at any worker count.
+func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	// Derive per-chip seeds up front so the fleet order is fixed.
+	root := rng.New(cfg.Seed)
+	seeds := make([]uint64, cfg.Chips)
+	for i := range seeds {
+		seeds[i] = root.Split(uint64(i) + 1).Uint64()
+	}
+	chips, err := parallel.Map(ctx, cfg.Chips, cfg.Workers,
+		func(ctx context.Context, i int) (ChipSoakReport, error) {
+			return soakChip(ctx, cfg, i, seeds[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	rep := &SoakReport{
+		Chips:          cfg.Chips,
+		Seed:           cfg.Seed,
+		Hours:          cfg.Hours,
+		WindowHours:    cfg.WindowHours,
+		TargetInterval: cfg.TargetInterval,
+		Controller:     cfg.Controller,
+		MaxUBER:        cfg.MaxUBER,
+		Survived:       true,
+		ChipReports:    chips,
+	}
+	for _, c := range chips {
+		rep.Survived = rep.Survived && c.Survived
+		rep.WorstUBER = math.Max(rep.WorstUBER, c.UBER)
+		rep.TotalUEEvents += c.UEEvents
+		rep.TotalViolationWindow += c.ViolationWindows
+		rep.MeanExtendedFraction += c.ExtendedFraction / float64(cfg.Chips)
+	}
+	return rep, nil
+}
+
+// soakChip runs one chip's full campaign.
+func soakChip(ctx context.Context, cfg SoakConfig, idx int, seed uint64) (ChipSoakReport, error) {
+	rep := ChipSoakReport{Chip: idx, Seed: seed}
+	fail := func(err error) (ChipSoakReport, error) {
+		return rep, fmt.Errorf("soak chip %d: %w", idx, err)
+	}
+
+	spec := cfg.Chip
+	spec.Seed = seed
+	spec.Chamber = false
+	st, err := spec.NewStation()
+	if err != nil {
+		return fail(err)
+	}
+	st.SetRefreshInterval(cfg.TargetInterval)
+
+	shield, err := mitigate.NewArchShield(st, cfg.SpareFraction)
+	if err != nil {
+		return fail(err)
+	}
+	mem, err := scrub.NewECCMemory(st)
+	if err != nil {
+		return fail(err)
+	}
+	mem.SetMapper(shield.Resolve)
+	scr, err := scrub.NewScrubber(mem)
+	if err != nil {
+		return fail(err)
+	}
+
+	scen := faultinject.DefaultScenario(seed^0xFA177, cfg.TargetInterval)
+	if cfg.Scenario != nil {
+		scen = *cfg.Scenario
+		scen.Seed = scen.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15
+	}
+	inj, err := faultinject.New(st, cfg.TargetInterval, scen)
+	if err != nil {
+		return fail(err)
+	}
+	inj.AttachShield(shield)
+
+	resident := selectResidentWords(st, shield, cfg.TargetInterval, cfg.ResidentWords)
+	writeResident := func() error {
+		cells := cellsByPhysicalWord(st)
+		for _, wa := range resident {
+			if err := mem.Write(wa, stressPayload(wa, cells[shield.Resolve(wa)])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	mgr, err := firmware.New(st, firmware.Config{
+		TargetInterval: cfg.TargetInterval,
+		Reach:          core.ReachConditions{DeltaInterval: 0.25},
+		Profiling:      core.Options{Iterations: 4, FreshRandomPerIteration: true, Seed: seed},
+		CadenceHours:   cfg.CadenceHours,
+		PreRound:       inj.RoundGate(),
+		Install:        shield.Install,
+		AfterRound:     writeResident,
+		Resilience:     firmware.ResilienceConfig{Enabled: cfg.Controller},
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := writeResident(); err != nil {
+		return fail(err)
+	}
+
+	windowSec := cfg.WindowHours * 3600
+	end := st.Clock() + cfg.Hours*3600
+	for st.Clock() < end-1e-6 {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		inj.RunUntil(math.Min(st.Clock()+windowSec, end))
+		if _, err := mgr.Tick(ctx); err != nil {
+			return fail(err)
+		}
+		srep, err := scr.Scrub()
+		if err != nil {
+			return fail(err)
+		}
+		rep.Windows++
+		rep.CorrectedTotal += srep.Corrected
+		rep.WordsScanned += int64(srep.WordsScanned)
+		if srep.Uncorrectable > 0 {
+			rep.ViolationWindows++
+			rep.UEEvents += srep.Uncorrectable
+			// Page-reload model: the OS restores each SECDED-fatal word
+			// from backing store, so the word is stressed again next
+			// window rather than staying frozen at its corrupted value.
+			cells := cellsByPhysicalWord(st)
+			for _, wa := range srep.Uncorrectables {
+				if err := mem.Write(wa, stressPayload(wa, cells[shield.Resolve(wa)])); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		mgr.ReportScrub(firmware.Telemetry{
+			WindowSeconds: windowSec,
+			Corrected:     srep.Corrected,
+			Uncorrectable: srep.Uncorrectable,
+		})
+	}
+
+	// UBER: a word-level UE is ~2 wrong bits out of the 64 data bits read.
+	if rep.WordsScanned > 0 {
+		rep.UBER = 2 * float64(rep.UEEvents) / (64 * float64(rep.WordsScanned))
+	}
+	rep.Survived = rep.UBER <= cfg.MaxUBER
+	rep.Rounds = mgr.Rounds()
+	rep.EarlyRounds = mgr.EarlyRounds()
+	rep.Aborts = mgr.Aborts()
+	rep.WidenSteps = mgr.WidenSteps()
+	rep.FinalDegradeLevel = mgr.DegradeLevel()
+	rep.FinalIntervalMs = mgr.CurrentInterval() * 1000
+	rep.SparesExhausted = mgr.SparesExhausted()
+	rep.ExtendedFraction = mgr.ExtendedFraction()
+	rep.FaultCounts = inj.Counts()
+	rep.FaultEvents = inj.Events()
+	rep.ControllerEvents = mgr.Events()
+	for _, e := range rep.ControllerEvents {
+		switch e.Kind {
+		case firmware.EventDegrade:
+			rep.DegradeEvents++
+		case firmware.EventRecover:
+			rep.RecoverEvents++
+		}
+	}
+	return rep, nil
+}
+
+// selectResidentWords picks the resident data set: the words whose contents
+// are hardest to keep alive at the extended interval, in address order.
+//   - words holding VRT cells (they escape profiles in their long state and
+//     come back as escapes when a burst forces them low, §2.3.1);
+//   - words with >= 2 cells marginal at the target (they only fail when a
+//     temperature excursion shortens retention, Equation 1);
+//   - words with a true failing cell at the target (profiling finds and
+//     remaps these, populating the spare segment with live data).
+func selectResidentWords(st *memctrl.Station, shield *mitigate.ArchShield, target float64, limit int) []mitigate.WordAddr {
+	g := st.Device().Geometry()
+	type wordClass struct{ vrt, marginal, failing int }
+	classes := map[mitigate.WordAddr]*wordClass{}
+	for _, c := range st.Device().Cells(st.Clock()) {
+		a := g.AddrOf(c.Bit)
+		wa := mitigate.WordAddr{Bank: a.Bank, Row: a.Row, Word: a.Word}
+		if shield.InReservedSegment(wa) {
+			continue
+		}
+		cl := classes[wa]
+		if cl == nil {
+			cl = &wordClass{}
+			classes[wa] = cl
+		}
+		switch {
+		case c.VRT:
+			cl.vrt++
+		case c.Mu <= target*1.25:
+			cl.failing++
+		case c.Mu <= target*2:
+			cl.marginal++
+		}
+	}
+	addrs := make([]mitigate.WordAddr, 0, len(classes))
+	for wa := range classes {
+		addrs = append(addrs, wa)
+	}
+	sortWordAddrs(addrs)
+	pick := func(keep func(*wordClass) bool, quota int, out []mitigate.WordAddr) []mitigate.WordAddr {
+		for _, wa := range addrs {
+			if quota <= 0 || len(out) >= limit {
+				break
+			}
+			if keep(classes[wa]) && !containsAddr(out, wa) {
+				out = append(out, wa)
+				quota--
+			}
+		}
+		return out
+	}
+	// Half the residency goes to words profiling will find and remap
+	// (populating the spare segment with live data — the targeted-arrival
+	// channel's substrate); the rest splits between VRT words (§2.3.1
+	// escapes) and excursion-marginal words (Equation 1).
+	var out []mitigate.WordAddr
+	out = pick(func(c *wordClass) bool { return c.failing > 0 }, limit/2, out)
+	out = pick(func(c *wordClass) bool { return c.vrt > 0 }, limit/4, out)
+	out = pick(func(c *wordClass) bool { return c.marginal >= 2 }, limit-len(out), out)
+	sortWordAddrs(out)
+	return out
+}
+
+func containsAddr(s []mitigate.WordAddr, wa mitigate.WordAddr) bool {
+	for _, a := range s {
+		if a == wa {
+			return true
+		}
+	}
+	return false
+}
+
+func sortWordAddrs(addrs []mitigate.WordAddr) {
+	slices.SortFunc(addrs, func(a, b mitigate.WordAddr) int {
+		if a.Bank != b.Bank {
+			return a.Bank - b.Bank
+		}
+		if a.Row != b.Row {
+			return a.Row - b.Row
+		}
+		return a.Word - b.Word
+	})
+}
+
+// cellsByPhysicalWord groups the device's current weak cells by the word
+// that physically contains them.
+func cellsByPhysicalWord(st *memctrl.Station) map[mitigate.WordAddr][]dram.CellInfo {
+	g := st.Device().Geometry()
+	out := map[mitigate.WordAddr][]dram.CellInfo{}
+	for _, c := range st.Device().Cells(st.Clock()) {
+		a := g.AddrOf(c.Bit)
+		wa := mitigate.WordAddr{Bank: a.Bank, Row: a.Row, Word: a.Word}
+		out[wa] = append(out[wa], c)
+	}
+	return out
+}
+
+// stressPayload builds the resident value for a word: a per-word base
+// pattern with every known weak cell's bit set to its charged (leak-prone)
+// value, so retention failures in the physical word actually corrupt data.
+func stressPayload(wa mitigate.WordAddr, cells []dram.CellInfo) uint64 {
+	h := uint64(wa.Bank)<<40 ^ uint64(wa.Row)<<20 ^ uint64(wa.Word)
+	h *= 0x9e3779b97f4a7c15
+	val := 0xa5a5a5a5a5a5a5a5 ^ h
+	for _, c := range cells {
+		bit := c.Bit % 64
+		if c.ChargedVal == 1 {
+			val |= 1 << bit
+		} else {
+			val &^= 1 << bit
+		}
+	}
+	return val
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden soak report snapshots")
+
+// testSoakConfig is the reduced campaign used by the acceptance tests: two
+// chips, five simulated days, default fault scenario.
+func testSoakConfig(seed uint64) SoakConfig {
+	cfg := DefaultSoakConfig(seed)
+	cfg.Chips = 2
+	cfg.Hours = 120
+	return cfg
+}
+
+// TestSoakControllerSurvivesWhereBaselineViolates is the PR's acceptance
+// criterion: under the default fault scenario the closed-loop resilience
+// controller keeps every chip's UBER within the configured target for the
+// full horizon, while the identical open-loop system demonstrably violates
+// it.
+func TestSoakControllerSurvivesWhereBaselineViolates(t *testing.T) {
+	ctx := context.Background()
+
+	base := testSoakConfig(5)
+	base.Controller = false
+	baseline, err := Soak(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Survived {
+		t.Fatalf("open-loop baseline survived (worst UBER %.3g <= %.3g); the scenario is too weak to mean anything",
+			baseline.WorstUBER, baseline.MaxUBER)
+	}
+
+	ctl := testSoakConfig(5)
+	ctl.Controller = true
+	controlled, err := Soak(ctx, ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !controlled.Survived {
+		t.Fatalf("resilience controller failed the soak: worst UBER %.3g > %.3g",
+			controlled.WorstUBER, controlled.MaxUBER)
+	}
+	if controlled.WorstUBER >= baseline.WorstUBER {
+		t.Errorf("controller worst UBER %.3g not below baseline %.3g",
+			controlled.WorstUBER, baseline.WorstUBER)
+	}
+	// The controller must actually have *done* something: early rounds,
+	// and degradation on the chips that needed it.
+	var early, degrades int
+	for _, c := range controlled.ChipReports {
+		early += c.EarlyRounds
+		degrades += c.DegradeEvents
+	}
+	if early == 0 {
+		t.Error("controller never scheduled an early reprofile")
+	}
+	if degrades == 0 {
+		t.Error("controller never degraded the refresh interval")
+	}
+	t.Logf("baseline worst UBER %.3g (%d UE windows) vs controller %.3g (%d UE windows), %d early rounds, %d degrades",
+		baseline.WorstUBER, baseline.TotalViolationWindow,
+		controlled.WorstUBER, controlled.TotalViolationWindow, early, degrades)
+}
+
+// TestSoakDeterministicAcrossWorkers pins the fault-injection determinism
+// guarantee: a fixed campaign seed produces a bit-for-bit identical
+// survival report (including every fault event and controller event) at
+// any worker count.
+func TestSoakDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *SoakReport {
+		cfg := DefaultSoakConfig(9)
+		cfg.Chips = 2
+		cfg.Hours = 48
+		cfg.Workers = workers
+		rep, err := Soak(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("soak reports differ between workers=1 and workers=8")
+	}
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seqJSON) != string(parJSON) {
+		t.Fatal("serialized soak reports not byte-identical across worker counts")
+	}
+}
+
+// TestSoakReportSnapshot locks the pinned-seed quick-soak report against a
+// golden file, so any change to the fault injector's draw sequence, the
+// controller's policy ladder, or the report schema shows up as a diff.
+// Regenerate intentionally with: go test ./internal/experiments/ -run
+// Snapshot -update
+func TestSoakReportSnapshot(t *testing.T) {
+	cfg := DefaultSoakConfig(1)
+	cfg.Chips = 2
+	cfg.Hours = 48
+	rep, err := Soak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "soak_quick_seed1.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("soak report drifted from golden snapshot %s (regenerate with -update if intentional)", golden)
+	}
+}
+
+func TestSoakConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Soak(ctx, SoakConfig{Chips: 0, Hours: 1, TargetInterval: 1}); err == nil {
+		t.Error("zero chips not rejected")
+	}
+	if _, err := Soak(ctx, SoakConfig{Chips: 1, Hours: 0, TargetInterval: 1}); err == nil {
+		t.Error("zero horizon not rejected")
+	}
+	if _, err := Soak(ctx, SoakConfig{Chips: 1, Hours: 1, TargetInterval: 0}); err == nil {
+		t.Error("zero target interval not rejected")
+	}
+}

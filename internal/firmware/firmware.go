@@ -11,9 +11,16 @@
 // overwrites DRAM contents; per the paper's footnote 4, saving and
 // restoring resident data is the system's job — the AfterRound hook is
 // where a host restores its data.
+//
+// Beyond the open-loop cadence, the manager can run closed-loop: feed it
+// per-window ECC scrub telemetry through ReportScrub and it escalates
+// through the resilience policy ladder (see ResilienceConfig) — early
+// reprofiling, widened reach conditions, graceful refresh degradation, and
+// recovery to the extended interval after sustained clean windows.
 package firmware
 
 import (
+	"context"
 	"fmt"
 
 	"reaper/internal/core"
@@ -39,7 +46,8 @@ type Config struct {
 	// CadenceHours fixes the reprofiling period. Zero derives it from
 	// Longevity and AssumedCoverage.
 	CadenceHours float64
-	// Longevity supplies the Equation 7 model when CadenceHours is 0.
+	// Longevity supplies the Equation 7 model when CadenceHours is 0, and
+	// the default correctable-error budget of the resilience controller.
 	Longevity *longevity.Model
 	// AssumedCoverage is the coverage credited to each round when
 	// deriving the cadence (real firmware cannot measure true coverage).
@@ -48,6 +56,11 @@ type Config struct {
 	// SafetyFactor divides the derived longevity to reprofile early.
 	// Defaults to 2.
 	SafetyFactor float64
+	// PreRound runs immediately before each profiling round starts. A
+	// returned error aborts the round — modelling profiling-round aborts
+	// and timeouts: the manager counts the abort, backs off, retries
+	// later, and keeps running rather than failing the campaign.
+	PreRound func() error
 	// Install receives each fresh profile (e.g. ArchShield.Install).
 	Install func(*core.FailureSet) error
 	// AfterRound runs after each round completes (refresh restored,
@@ -60,7 +73,16 @@ type Config struct {
 	// footnote-4 save/restore, made explicit). With PreserveData set, an
 	// AfterRound data rewrite is unnecessary.
 	PreserveData bool
+	// Resilience enables and tunes the closed-loop controller; the zero
+	// value leaves the manager open-loop (pre-existing behaviour).
+	Resilience ResilienceConfig
 }
+
+// abort-retry backoff bounds used when a PreRound hook rejects a round.
+const (
+	abortBackoffBaseSeconds = 1800
+	abortBackoffMaxSeconds  = 4 * 3600
+)
 
 // Manager runs online profiling on one station.
 type Manager struct {
@@ -73,6 +95,37 @@ type Manager struct {
 	profilingSeconds float64
 	startClock       float64
 	cadenceSeconds   float64
+
+	// Effective profiling conditions; start at cfg.Reach/cfg.Profiling and
+	// are widened by the resilience controller on repeated escapes.
+	reach core.ReachConditions
+	prof  core.Options
+
+	// Round-abort state (PreRound hook).
+	aborts       int
+	abortBackoff float64
+	retryAt      float64
+
+	// Resilience controller state (see resilience.go).
+	res             ResilienceConfig
+	ladder          []float64 // degraded intervals, most extended first
+	degradeLevel    int       // 0 = target interval, len(ladder) = last rung
+	cleanWindows    int
+	escapeStreak    int
+	widenSteps      int
+	backoffSeconds  float64
+	earlyPending    bool
+	earlyAt         float64
+	earlyRounds     int
+	recoverNeed     int
+	windows         int
+	uncleanWindows  int
+	sparesExhausted bool
+	events          []Event
+
+	// Extended-interval time accounting.
+	intervalSince float64
+	extendedAccum float64
 }
 
 // New builds a manager and computes its cadence.
@@ -98,7 +151,16 @@ func New(st *memctrl.Station, cfg Config) (*Manager, error) {
 	if cfg.SafetyFactor < 1 {
 		return nil, fmt.Errorf("firmware: safety factor must be >= 1")
 	}
-	m := &Manager{st: st, cfg: cfg, profile: core.NewFailureSet(), startClock: st.Clock()}
+	m := &Manager{
+		st:            st,
+		cfg:           cfg,
+		profile:       core.NewFailureSet(),
+		startClock:    st.Clock(),
+		reach:         cfg.Reach,
+		prof:          cfg.Profiling,
+		abortBackoff:  abortBackoffBaseSeconds,
+		intervalSince: st.Clock(),
+	}
 	switch {
 	case cfg.CadenceHours > 0:
 		m.cadenceSeconds = cfg.CadenceHours * 3600
@@ -111,6 +173,9 @@ func New(st *memctrl.Station, cfg Config) (*Manager, error) {
 	default:
 		return nil, fmt.Errorf("firmware: need CadenceHours or a Longevity model")
 	}
+	if err := m.initResilience(); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -122,6 +187,9 @@ func (m *Manager) Profile() *core.FailureSet { return m.profile.Clone() }
 
 // Rounds returns how many profiling rounds have completed.
 func (m *Manager) Rounds() int { return m.rounds }
+
+// Aborts returns how many profiling rounds the PreRound hook aborted.
+func (m *Manager) Aborts() int { return m.aborts }
 
 // ProfilingSeconds returns the simulated time consumed by profiling so far.
 func (m *Manager) ProfilingSeconds() float64 { return m.profilingSeconds }
@@ -136,28 +204,53 @@ func (m *Manager) OverheadFraction() float64 {
 	return m.profilingSeconds / elapsed
 }
 
-// Due reports whether a profiling round is needed now (no profile yet, or
-// the current one has outlived the cadence).
+// Due reports whether a profiling round is needed now (no profile yet, an
+// early reprofile fell due, or the current profile outlived the cadence).
+// A pending abort backoff suppresses rounds until its retry time.
 func (m *Manager) Due() bool {
+	now := m.st.Clock()
+	if now < m.retryAt {
+		return false
+	}
 	if m.rounds == 0 {
 		return true
 	}
-	return m.st.Clock()-m.lastRoundEnd >= m.cadenceSeconds
+	if m.earlyPending && now >= m.earlyAt {
+		return true
+	}
+	return now-m.lastRoundEnd >= m.cadenceSeconds
 }
 
 // Tick runs one profiling round if one is due. It returns whether a round
 // ran. After the round the station's refresh interval is restored to the
-// target and the Install and AfterRound hooks have run.
-func (m *Manager) Tick() (bool, error) {
+// current operating interval (the target, unless the resilience controller
+// has degraded it) and the Install and AfterRound hooks have run.
+//
+// The context is checked on entry; profiling rounds themselves are atomic
+// units of simulated time and are not interrupted midway.
+func (m *Manager) Tick(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if !m.Due() {
 		return false, nil
 	}
-	start := m.st.Clock()
+	now := m.st.Clock()
+	if m.cfg.PreRound != nil {
+		if err := m.cfg.PreRound(); err != nil {
+			m.aborts++
+			m.retryAt = now + m.abortBackoff
+			m.event(EventRoundAbort, fmt.Sprintf("retry in %.2f h: %v", m.abortBackoff/3600, err))
+			m.abortBackoff = min(m.abortBackoff*2, abortBackoffMaxSeconds)
+			return false, nil
+		}
+	}
+	m.abortBackoff = abortBackoffBaseSeconds
 	var snap *dram.ContentSnapshot
 	if m.cfg.PreserveData {
 		snap = m.st.SaveData()
 	}
-	res, err := core.Reach(m.st, m.cfg.TargetInterval, m.cfg.Reach, m.cfg.Profiling)
+	res, err := core.Reach(m.st, m.cfg.TargetInterval, m.reach, m.prof)
 	if err != nil {
 		return false, err
 	}
@@ -175,12 +268,24 @@ func (m *Manager) Tick() (bool, error) {
 	m.profilingSeconds += res.RuntimeSeconds()
 	m.rounds++
 	m.lastRoundEnd = m.st.Clock()
+	if m.earlyPending {
+		m.earlyPending = false
+		m.earlyRounds++
+	}
 
-	// Resume extended-interval operation.
-	m.st.SetRefreshInterval(m.cfg.TargetInterval)
-	if m.cfg.Install != nil {
+	// Resume operation at the current (possibly degraded) interval.
+	m.st.SetRefreshInterval(m.currentInterval())
+	if m.cfg.Install != nil && !m.sparesExhausted {
 		if err := m.cfg.Install(m.profile); err != nil {
-			return true, fmt.Errorf("firmware: install: %w", err)
+			if !m.res.Enabled {
+				return true, fmt.Errorf("firmware: install: %w", err)
+			}
+			// Mitigation capacity exhausted: newly found cells can no
+			// longer be remapped, so extended-interval operation is
+			// unsafe. Degrade to the last rung and keep running.
+			m.sparesExhausted = true
+			m.setDegradeLevel(len(m.ladder))
+			m.event(EventSparesExhausted, err.Error())
 		}
 	}
 	if m.cfg.AfterRound != nil {
@@ -188,20 +293,22 @@ func (m *Manager) Tick() (bool, error) {
 			return true, fmt.Errorf("firmware: after-round hook: %w", err)
 		}
 	}
-	_ = start
 	return true, nil
 }
 
 // RunFor advances simulated time by simHours, ticking the manager every
-// stepSeconds. The system runs at the target refresh interval between
-// rounds.
-func (m *Manager) RunFor(simHours, stepSeconds float64) error {
+// stepSeconds. The system runs at the current operating interval between
+// rounds. Cancelling the context stops the campaign at the next step.
+func (m *Manager) RunFor(ctx context.Context, simHours, stepSeconds float64) error {
 	if stepSeconds <= 0 {
 		return fmt.Errorf("firmware: non-positive step")
 	}
 	end := m.st.Clock() + simHours*3600
 	for m.st.Clock() < end {
-		if _, err := m.Tick(); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := m.Tick(ctx); err != nil {
 			return err
 		}
 		m.st.Wait(stepSeconds)

@@ -1,6 +1,7 @@
 package firmware
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -105,7 +106,7 @@ func TestTickRunsOnCadence(t *testing.T) {
 	if !m.Due() {
 		t.Fatal("fresh manager should be due")
 	}
-	ran, err := m.Tick()
+	ran, err := m.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestTickRunsOnCadence(t *testing.T) {
 	if m.Due() {
 		t.Error("manager due right after a round")
 	}
-	if ran, _ := m.Tick(); ran {
+	if ran, _ := m.Tick(context.Background()); ran {
 		t.Error("tick ran a round before the cadence elapsed")
 	}
 	// After the cadence passes, a round is due again.
@@ -134,7 +135,7 @@ func TestTickRunsOnCadence(t *testing.T) {
 	if !m.Due() {
 		t.Error("manager not due after cadence")
 	}
-	ran, err = m.Tick()
+	ran, err = m.Tick(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,12 +155,12 @@ func TestProfileAccumulatesAcrossRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Tick(); err != nil {
+	if _, err := m.Tick(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	first := m.Profile().Len()
 	st.Wait(2*3600 + 1)
-	if _, err := m.Tick(); err != nil {
+	if _, err := m.Tick(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if m.Profile().Len() < first {
@@ -186,7 +187,7 @@ func TestHooksRunAndErrorsPropagate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Tick(); err != nil {
+	if _, err := m.Tick(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if installs != 1 || afters != 1 {
@@ -202,7 +203,7 @@ func TestHooksRunAndErrorsPropagate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bad.Tick(); err == nil {
+	if _, err := bad.Tick(context.Background()); err == nil {
 		t.Error("install error not propagated")
 	}
 }
@@ -218,7 +219,7 @@ func TestRunForTicksPeriodically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.RunFor(13, 900); err != nil {
+	if err := m.RunFor(context.Background(), 13, 900); err != nil {
 		t.Fatal(err)
 	}
 	// 13 hours at a 4-hour cadence: the initial round plus ~3 more.
@@ -228,7 +229,7 @@ func TestRunForTicksPeriodically(t *testing.T) {
 	if m.OverheadFraction() <= 0 || m.OverheadFraction() > 0.2 {
 		t.Errorf("overhead fraction = %v out of plausible range", m.OverheadFraction())
 	}
-	if err := m.RunFor(1, 0); err == nil {
+	if err := m.RunFor(context.Background(), 1, 0); err == nil {
 		t.Error("zero step not rejected")
 	}
 }
@@ -249,7 +250,7 @@ func TestReachManagerBeatsBruteForceEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.RunFor(24, 1800); err != nil {
+		if err := m.RunFor(context.Background(), 24, 1800); err != nil {
 			t.Fatal(err)
 		}
 		return core.Coverage(m.Profile(), truth), m.OverheadFraction()
@@ -284,7 +285,7 @@ func TestPreserveDataAcrossRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Tick(); err != nil {
+	if _, err := m.Tick(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	got, err := st.ReadWord(0, 1, 2)
@@ -306,7 +307,7 @@ func TestPreserveDataAcrossRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bare.Tick(); err != nil {
+	if _, err := bare.Tick(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if m.ProfilingSeconds() <= bare.ProfilingSeconds() {
@@ -361,7 +362,7 @@ func TestFirmwareWithArchShieldMultiDay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.RunFor(72, 3600); err != nil {
+	if err := m.RunFor(context.Background(), 72, 3600); err != nil {
 		t.Fatal(err)
 	}
 	if m.Rounds() < 3 {

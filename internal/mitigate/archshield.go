@@ -11,6 +11,7 @@ package mitigate
 
 import (
 	"fmt"
+	"slices"
 
 	"reaper/internal/core"
 	"reaper/internal/dram"
@@ -135,6 +136,46 @@ func (a *ArchShield) resolve(addr WordAddr) WordAddr {
 		return a.addrOfWordIndex(spare)
 	}
 	return addr
+}
+
+// Resolve returns the physical address currently backing a visible address
+// (the address itself when the word is not remapped). Exposed so other
+// layers that bypass Read/Write — the ECC scrubber routing its sweeps
+// through the fault map, or a fault injector aiming at the physical cells a
+// word resides in — can follow the remapping.
+func (a *ArchShield) Resolve(addr WordAddr) WordAddr { return a.resolve(addr) }
+
+// ConsumeSpares permanently retires up to n spare words from the reserved
+// segment and returns how many were actually consumed (less than n when the
+// segment runs dry). It models mitigation capacity exhaustion: in a real
+// deployment spares are spent by other subsystems too (post-package repair,
+// earlier profiles' false positives), and a fault scenario uses this to
+// drive Install into its spare-segment-exhausted error path.
+func (a *ArchShield) ConsumeSpares(n uint64) uint64 {
+	left := a.spareLimit - a.nextSpare
+	if n > left {
+		n = left
+	}
+	a.nextSpare += n
+	return n
+}
+
+// RemapTargets returns the physical spare-segment addresses currently
+// backing remapped words, in ascending word-index order. A fault injector
+// uses this to aim new weak cells at the words where the mitigation
+// mechanism concentrated live data — the adversarial worst case for spare
+// segment reliability, since Install never remaps reserved-segment words.
+func (a *ArchShield) RemapTargets() []WordAddr {
+	spares := make([]uint64, 0, len(a.remap))
+	for _, spare := range a.remap {
+		spares = append(spares, spare)
+	}
+	slices.Sort(spares)
+	out := make([]WordAddr, len(spares))
+	for i, s := range spares {
+		out[i] = a.addrOfWordIndex(s)
+	}
+	return out
 }
 
 // Write stores a word through the fault map.

@@ -1,0 +1,71 @@
+package mitigate
+
+import (
+	"testing"
+
+	"reaper/internal/core"
+	"reaper/internal/dram"
+)
+
+func TestArchShieldResolve(t *testing.T) {
+	st := newStation(t, 5)
+	a, err := NewArchShield(st, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := st.Device().Geometry()
+	wa := WordAddr{Bank: 1, Row: 2, Word: 3}
+	if got := a.Resolve(wa); got != wa {
+		t.Fatalf("unremapped resolve = %+v, want identity", got)
+	}
+	bit := geom.BitIndex(dram.Addr{Bank: wa.Bank, Row: wa.Row, Word: wa.Word, Bit: 7})
+	if err := a.Install(core.NewFailureSet(bit)); err != nil {
+		t.Fatal(err)
+	}
+	p := a.Resolve(wa)
+	if p == wa {
+		t.Fatal("remapped word resolves to itself")
+	}
+	if !a.InReservedSegment(p) {
+		t.Fatalf("resolved address %+v not in the reserved segment", p)
+	}
+	// Resolve must agree with the Read/Write data path: a write through the
+	// fault map lands at the resolved physical word.
+	if err := a.Write(wa, 0xDEAD); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ReadWord(p.Bank, p.Row, p.Word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xDEAD {
+		t.Fatalf("physical word = %#x, want 0xDEAD", got)
+	}
+}
+
+func TestArchShieldConsumeSpares(t *testing.T) {
+	st := newStation(t, 6)
+	a, err := NewArchShield(st, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := a.SpareWordsLeft()
+	if got := a.ConsumeSpares(10); got != 10 {
+		t.Fatalf("consumed %d, want 10", got)
+	}
+	if a.SpareWordsLeft() != left-10 {
+		t.Fatalf("spares left = %d, want %d", a.SpareWordsLeft(), left-10)
+	}
+	// Draining everything forces Install into its exhaustion error path.
+	if got := a.ConsumeSpares(left); got != left-10 {
+		t.Fatalf("over-consume returned %d, want %d", got, left-10)
+	}
+	if a.SpareWordsLeft() != 0 {
+		t.Fatalf("spares left = %d after draining", a.SpareWordsLeft())
+	}
+	geom := st.Device().Geometry()
+	bit := geom.BitIndex(dram.Addr{Bank: 0, Row: 1, Word: 0, Bit: 0})
+	if err := a.Install(core.NewFailureSet(bit)); err == nil {
+		t.Fatal("Install with an exhausted spare segment did not error")
+	}
+}

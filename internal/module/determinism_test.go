@@ -25,7 +25,11 @@ func TestModuleParallelDeterministic(t *testing.T) {
 			m.EnableRefresh()
 			passes = append(passes, m.ReadCompare())
 		}
-		return passes, m.Truth(1.024, 45).Sorted()
+		truth, err := m.Truth(1.024, 45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return passes, truth.Sorted()
 	}
 	seqPasses, seqTruth := run(1)
 	parPasses, parTruth := run(8)

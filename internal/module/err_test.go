@@ -1,0 +1,37 @@
+package module
+
+import (
+	"errors"
+	"testing"
+
+	"reaper/internal/parallel"
+)
+
+// panicPattern is a RowData whose content lookup panics, simulating a bug
+// inside a per-chip simulation running on a worker goroutine.
+type panicPattern struct{}
+
+func (panicPattern) Word(uint32, int) uint64 { panic("panicPattern: boom") }
+
+func TestModuleLatchesWorkerPanicAsError(t *testing.T) {
+	m := testModule(t, 2, 9)
+	if m.Err() != nil {
+		t.Fatalf("fresh module has latched error %v", m.Err())
+	}
+	m.WritePattern(panicPattern{})
+	// ReadCompare evaluates the pattern on worker goroutines; the panic
+	// must come back as a latched error, not a process crash.
+	_ = m.ReadCompare()
+	err := m.Err()
+	if err == nil {
+		t.Fatal("worker panic was not latched on Err")
+	}
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("latched error %T is not a *parallel.PanicError", err)
+	}
+	// The latch is sticky: the first error survives later clean passes.
+	if m.Err() != err {
+		t.Fatal("latched error did not stick")
+	}
+}

@@ -41,6 +41,7 @@ type Module struct {
 	stats   memctrl.Stats
 	ambient float64
 	workers int
+	err     error
 }
 
 // New builds a module over the devices. All devices must share a geometry.
@@ -82,18 +83,31 @@ func New(devs []*dram.Device, chamber *thermal.Chamber, timing memctrl.Timing) (
 func (m *Module) SetWorkers(n int) { m.workers = n }
 
 // forEachChip runs fn over every device on the module's worker pool. The
-// per-chip simulations have no error path; a panic in fn is captured by the
-// pool and re-raised here so it is not lost on a worker goroutine.
-func (m *Module) forEachChip(fn func(ci int, dev *dram.Device)) {
-	err := parallel.ForEach(context.Background(), len(m.devs), m.workers,
+// per-chip simulations have no error path of their own; the returned error
+// is a pool failure — a panic in fn captured as a *parallel.PanicError — so
+// it is not lost on a worker goroutine.
+func (m *Module) forEachChip(fn func(ci int, dev *dram.Device)) error {
+	return parallel.ForEach(context.Background(), len(m.devs), m.workers,
 		func(_ context.Context, ci int) error {
 			fn(ci, m.devs[ci])
 			return nil
 		})
-	if err != nil {
-		panic(err)
+}
+
+// fail latches the first chip-pool error raised inside a core.TestStation
+// method, whose signatures cannot carry it. Err surfaces it to callers.
+func (m *Module) fail(err error) {
+	if m.err == nil {
+		m.err = err
 	}
 }
+
+// Err returns the first error a TestStation-interface operation encountered
+// (nil when all operations succeeded). The interface methods EnableRefresh,
+// SetRefreshInterval, WritePattern and ReadCompare cannot return errors
+// without breaking every profiler; they latch failures here instead, and
+// callers driving a module directly should check Err after a campaign.
+func (m *Module) Err() error { return m.err }
 
 // Chips returns the number of devices in the module.
 func (m *Module) Chips() int { return len(m.devs) }
@@ -169,7 +183,9 @@ func (m *Module) DisableRefresh() {
 func (m *Module) EnableRefresh() {
 	if !m.refresh {
 		now := m.clock.Now()
-		m.forEachChip(func(_ int, d *dram.Device) { d.RestoreAll(now) })
+		if err := m.forEachChip(func(_ int, d *dram.Device) { d.RestoreAll(now) }); err != nil {
+			m.fail(err)
+		}
 	}
 	m.refresh = true
 	for _, d := range m.devs {
@@ -186,7 +202,9 @@ func (m *Module) SetRefreshInterval(interval float64) {
 	}
 	if !m.refresh {
 		now := m.clock.Now()
-		m.forEachChip(func(_ int, d *dram.Device) { d.RestoreAll(now) })
+		if err := m.forEachChip(func(_ int, d *dram.Device) { d.RestoreAll(now) }); err != nil {
+			m.fail(err)
+		}
 	}
 	m.refresh = true
 	for _, d := range m.devs {
@@ -202,7 +220,9 @@ func (m *Module) WritePattern(p dram.RowData) {
 	d := m.timing.PassSeconds(m.TotalBytes())
 	m.advance(d)
 	now := m.clock.Now()
-	m.forEachChip(func(_ int, dev *dram.Device) { dev.WriteAll(p, now) })
+	if err := m.forEachChip(func(_ int, dev *dram.Device) { dev.WriteAll(p, now) }); err != nil {
+		m.fail(err)
+	}
 	m.stats.WriteSeconds += d
 	m.stats.WritePasses++
 	m.stats.BytesWritten += m.TotalBytes()
@@ -231,7 +251,7 @@ func (m *Module) ReadCompare() []uint64 {
 	m.advance(d)
 	now := m.clock.Now()
 	perChip := make([][]uint64, len(m.devs))
-	m.forEachChip(func(ci int, dev *dram.Device) {
+	err := m.forEachChip(func(ci int, dev *dram.Device) {
 		bits := dev.ReadCompareAll(now)
 		global := make([]uint64, len(bits))
 		for i, bit := range bits {
@@ -239,6 +259,9 @@ func (m *Module) ReadCompare() []uint64 {
 		}
 		perChip[ci] = global
 	})
+	if err != nil {
+		m.fail(err)
+	}
 	var fails []uint64
 	for _, g := range perChip {
 		fails = append(fails, g...)
@@ -250,20 +273,25 @@ func (m *Module) ReadCompare() []uint64 {
 }
 
 // Truth returns the module-wide ground-truth failing set at the target
-// conditions (the union of every chip's oracle, chip-offset).
-func (m *Module) Truth(targetInterval, targetTempC float64) *core.FailureSet {
+// conditions (the union of every chip's oracle, chip-offset). The error is
+// a worker-pool failure (a panic inside a chip simulation, converted by
+// internal/parallel); there is no per-chip error path.
+func (m *Module) Truth(targetInterval, targetTempC float64) (*core.FailureSet, error) {
 	now := m.clock.Now()
 	perChip := make([][]uint64, len(m.devs))
-	m.forEachChip(func(ci int, dev *dram.Device) {
+	err := m.forEachChip(func(ci int, dev *dram.Device) {
 		perChip[ci] = dev.TrueFailingSet(targetInterval, targetTempC, now, dram.OracleThreshold)
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := core.NewFailureSet()
 	for ci, bits := range perChip {
 		for _, bit := range bits {
 			out.Add(GlobalBit(ci, bit))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Module must satisfy the profiling interface.

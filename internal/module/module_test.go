@@ -124,7 +124,10 @@ func TestModuleProfilingFindsPerChipFailures(t *testing.T) {
 
 func TestModuleReachProfilingAndTruth(t *testing.T) {
 	m := testModule(t, 2, 30)
-	truth := m.Truth(1.024, 45)
+	truth, err := m.Truth(1.024, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if truth.Len() == 0 {
 		t.Fatal("empty module truth")
 	}

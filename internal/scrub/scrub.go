@@ -29,6 +29,7 @@ import (
 type ECCMemory struct {
 	st     *memctrl.Station
 	checks map[mitigate.WordAddr]uint8
+	mapper func(mitigate.WordAddr) mitigate.WordAddr
 }
 
 // NewECCMemory wraps a station.
@@ -39,10 +40,29 @@ func NewECCMemory(st *memctrl.Station) (*ECCMemory, error) {
 	return &ECCMemory{st: st, checks: make(map[mitigate.WordAddr]uint8)}, nil
 }
 
+// SetMapper routes every device access through an address translation —
+// typically ArchShield.Resolve, so ECC-protected words follow their
+// remapping into the spare segment. ECC state stays keyed by the logical
+// address; translation happens at access time, so words remapped after
+// being written keep their protection (the data at the new physical
+// location must be rewritten by the caller, as on a real migration).
+func (m *ECCMemory) SetMapper(mapper func(mitigate.WordAddr) mitigate.WordAddr) {
+	m.mapper = mapper
+}
+
+// physical translates a logical word address to its current backing word.
+func (m *ECCMemory) physical(addr mitigate.WordAddr) mitigate.WordAddr {
+	if m.mapper == nil {
+		return addr
+	}
+	return m.mapper(addr)
+}
+
 // Write stores a word with ECC.
 func (m *ECCMemory) Write(addr mitigate.WordAddr, val uint64) error {
 	w := ecc.EncodeSECDED(val)
-	if err := m.st.WriteWord(addr.Bank, addr.Row, addr.Word, w.Data); err != nil {
+	p := m.physical(addr)
+	if err := m.st.WriteWord(p.Bank, p.Row, p.Word, w.Data); err != nil {
 		return err
 	}
 	m.checks[addr] = w.Check
@@ -57,7 +77,8 @@ func (m *ECCMemory) Read(addr mitigate.WordAddr) (uint64, ecc.DecodeStatus, erro
 	if !ok {
 		return 0, ecc.Clean, fmt.Errorf("scrub: word %+v was never written", addr)
 	}
-	data, err := m.st.ReadWord(addr.Bank, addr.Row, addr.Word)
+	p := m.physical(addr)
+	data, err := m.st.ReadWord(p.Bank, p.Row, p.Word)
 	if err != nil {
 		return 0, ecc.Clean, err
 	}
@@ -90,11 +111,16 @@ func sortAddrs(addrs []mitigate.WordAddr) {
 	sortSlice(addrs, less)
 }
 
-// ScrubReport summarizes one scrub pass.
+// ScrubReport summarizes one scrub pass. It is the per-window ECC telemetry
+// a resilience controller consumes: corrected (CE) and uncorrectable (UE)
+// counts plus the exact words that were SECDED-fatal this pass.
 type ScrubReport struct {
 	WordsScanned  int
 	Corrected     int
 	Uncorrectable int
+	// Uncorrectables lists the logical addresses of the words that decoded
+	// as double-bit errors this pass, in deterministic (ascending) order.
+	Uncorrectables []mitigate.WordAddr
 }
 
 // Scrubber periodically sweeps the ECC memory, repairs single-bit errors by
@@ -107,6 +133,8 @@ type Scrubber struct {
 	UncorrectableTotal int
 	// Rounds counts completed scrub passes.
 	Rounds int
+	// history holds the per-pass reports, oldest first.
+	history []ScrubReport
 }
 
 // NewScrubber builds a scrubber over an ECC memory.
@@ -139,11 +167,22 @@ func (s *Scrubber) Scrub() (ScrubReport, error) {
 		case ecc.DoubleError:
 			rep.Uncorrectable++
 			s.UncorrectableTotal++
+			rep.Uncorrectables = append(rep.Uncorrectables, addr)
 			s.recordWord(geom.BitIndex(toDRAMAddr(addr)))
 		}
 	}
 	s.Rounds++
+	s.history = append(s.history, rep)
 	return rep, nil
+}
+
+// History returns the per-pass scrub reports accumulated so far, oldest
+// first — the correctable-error-per-window telemetry stream the firmware
+// resilience controller compares against its longevity budget.
+func (s *Scrubber) History() []ScrubReport {
+	out := make([]ScrubReport, len(s.history))
+	copy(out, s.history)
+	return out
 }
 
 func (s *Scrubber) recordWord(bit uint64) { s.profile.Add(bit) }

@@ -110,7 +110,10 @@ func TestNewModuleViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	truth := m.Truth(1.024, RefTempC)
+	truth, err := m.Truth(1.024, RefTempC)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cov := Coverage(res.Failures, truth); cov < 0.8 {
 		t.Errorf("module coverage via facade = %v", cov)
 	}
