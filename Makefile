@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-parallel soak-quick
+.PHONY: all build vet test race check bench bench-parallel soak-quick lint lint-fixtures
 
 all: check
 
@@ -27,7 +27,17 @@ race:
 soak-quick:
 	$(GO) run ./cmd/soak -quick -seed 1 -out /dev/null
 
-check: build vet race soak-quick
+# lint runs reaperlint, the repo's own determinism-and-safety analyzer suite
+# (see DESIGN.md "Invariants"). Exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/reaperlint ./...
+
+# lint-fixtures runs the analyzer fixture tests only (fast; -short skips the
+# whole-repo scan that `make lint` already performs).
+lint-fixtures:
+	$(GO) test -short ./internal/lint
+
+check: build vet lint race soak-quick
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

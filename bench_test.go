@@ -10,6 +10,7 @@
 package reaper
 
 import (
+	"context"
 	"testing"
 
 	"reaper/internal/core"
@@ -45,7 +46,7 @@ func BenchmarkFig2RetentionDistribution(b *testing.B) {
 	var rows []experiments.Fig2Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig2RetentionDistribution(cfg)
+		rows, err = experiments.Fig2RetentionDistribution(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func BenchmarkFig4AccumulationRates(b *testing.B) {
 	var rows []experiments.Fig4Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig4AccumulationRates(cfg)
+		rows, err = experiments.Fig4AccumulationRates(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func BenchmarkFig5PatternCoverage(b *testing.B) {
 	var rows []experiments.Fig5Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig5PatternCoverage(cfg)
+		rows, err = experiments.Fig5PatternCoverage(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func BenchmarkFig9ReachTradeoff(b *testing.B) {
 	cfg.MaxIterations = 32
 	var h experiments.HeadlineResult
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig9Fig10Tradeoff(cfg)
+		points, err := experiments.Fig9Fig10Tradeoff(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func BenchmarkFig10RuntimeContours(b *testing.B) {
 	var best float64
 	var at250 float64
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig9Fig10Tradeoff(cfg)
+		points, err := experiments.Fig9Fig10Tradeoff(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,7 +250,7 @@ func BenchmarkHeadlineReachSpeedup(b *testing.B) {
 	cfg.MaxIterations = 48
 	var h experiments.HeadlineResult
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig9Fig10Tradeoff(cfg)
+		points, err := experiments.Fig9Fig10Tradeoff(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -380,7 +381,7 @@ func BenchmarkPopulationAverages(b *testing.B) {
 	var results []experiments.PopulationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		results, err = experiments.PopulationSweep(cfg)
+		results, err = experiments.PopulationSweep(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -404,7 +405,7 @@ func BenchmarkAblationVRT(b *testing.B) {
 	var res *experiments.VRTAblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.AblationVRT(chip, 2.048, 50, 30)
+		res, err = experiments.AblationVRT(context.Background(), chip, 2.048, 50, 30)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -421,7 +422,7 @@ func BenchmarkAblationDPD(b *testing.B) {
 	var res *experiments.DPDAblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.AblationDPD(chip, 1.024, 8)
+		res, err = experiments.AblationDPD(context.Background(), chip, 1.024, 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -438,7 +439,7 @@ func BenchmarkAblationReachKnobs(b *testing.B) {
 	var res *experiments.KnobAblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.AblationReachKnobs(chip, 1.024, 0.5, 5, 8)
+		res, err = experiments.AblationReachKnobs(context.Background(), chip, 1.024, 0.5, 5, 8)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -561,7 +562,7 @@ func BenchmarkFig13EndToEnd(b *testing.B) {
 	var cells []experiments.Fig13Cell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = experiments.Fig13EndToEnd(cfg)
+		cells, err = experiments.Fig13EndToEnd(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -77,7 +78,7 @@ func main() {
 	b.Sweeps = append(b.Sweeps, measureSweep("population_sweep", *workers, func(w int) error {
 		cfg := experiments.DefaultPopulationConfig()
 		cfg.Workers = w
-		_, err := experiments.PopulationSweep(cfg)
+		_, err := experiments.PopulationSweep(context.Background(), cfg)
 		return err
 	}))
 	b.Sweeps = append(b.Sweeps, measureSweep("tradeoff_grid", *workers, func(w int) error {
@@ -87,7 +88,7 @@ func main() {
 		cfg.Iterations = 8
 		cfg.MaxIterations = 32
 		cfg.Workers = w
-		_, err := experiments.Fig9Fig10Tradeoff(cfg)
+		_, err := experiments.Fig9Fig10Tradeoff(context.Background(), cfg)
 		return err
 	}))
 

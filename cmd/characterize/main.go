@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,7 +38,7 @@ func main() {
 		cfg.ChipsPerVendor = *population
 		cfg.Seed = *seed
 		cfg.Workers = workers
-		results, err := experiments.PopulationSweep(cfg)
+		results, err := experiments.PopulationSweep(context.Background(), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func fig2(quick bool, seed uint64) {
 	if quick {
 		cfg.Iterations = 2
 	}
-	rows, err := experiments.Fig2RetentionDistribution(cfg)
+	rows, err := experiments.Fig2RetentionDistribution(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func fig4(quick bool, seed uint64) {
 		cfg.SimHours = 12
 		cfg.Intervals = []float64{2.048, 4.096}
 	}
-	rows, err := experiments.Fig4AccumulationRates(cfg)
+	rows, err := experiments.Fig4AccumulationRates(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func fig5(quick bool, seed uint64) {
 		cfg.Iterations = 16
 		cfg.Vendors = []dram.VendorParams{dram.VendorB()}
 	}
-	rows, err := experiments.Fig5PatternCoverage(cfg)
+	rows, err := experiments.Fig5PatternCoverage(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -62,7 +63,7 @@ func main() {
 			cfg.InstructionsPerCore = 400_000
 			cfg.ChipGbs = []int{64}
 		}
-		cells, err := experiments.Fig13EndToEnd(cfg)
+		cells, err := experiments.Fig13EndToEnd(context.Background(), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

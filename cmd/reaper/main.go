@@ -35,6 +35,13 @@ func main() {
 		"worker pool size for multi-chip module passes (results are identical at any count)")
 	flag.Parse()
 
+	if *workers < 1 {
+		log.Fatalf("reaper: -workers must be >= 1 (got %d)", *workers)
+	}
+	if *chips < 1 {
+		log.Fatalf("reaper: -chips must be >= 1 (got %d)", *chips)
+	}
+
 	var vendor reaper.VendorParams
 	switch *vendorName {
 	case "A":

@@ -1,0 +1,142 @@
+// Command reaperlint runs the repository's determinism-and-safety analyzer
+// suite (internal/lint) over the module and fails on any unsuppressed
+// finding. It is wired into `make check` and CI, so the reproducibility
+// invariants behind every pinned figure and golden snapshot are
+// machine-checked on every change.
+//
+// Usage:
+//
+//	reaperlint [-rules list] [-v] [packages...]
+//
+// Package patterns are module-relative directories; "./..." (the default)
+// scans the whole module. Test files and testdata are excluded: the rules
+// govern shipped simulator code.
+//
+// Findings print as
+//
+//	file:line:col: [rule] message
+//
+// and suppressed findings (//lint:ignore rule reason) are counted in the
+// summary. Exit status: 0 clean, 1 findings, 2 load/usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"reaper/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	verbose := flag.Bool("v", false, "list every suppression with its justification")
+	flag.Parse()
+
+	status := run(*rules, *verbose, flag.Args())
+	os.Exit(status)
+}
+
+func run(rules string, verbose bool, patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reaperlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reaperlint:", err)
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if rules != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(rules, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "reaperlint: unknown rule %q (have:", name)
+				for _, known := range lint.Analyzers() {
+					fmt.Fprintf(os.Stderr, " %s", known.Name)
+				}
+				fmt.Fprintln(os.Stderr, ")")
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		loaded, err := load(loader, pat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reaperlint:", err)
+			return 2
+		}
+		for _, p := range loaded {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	res := lint.Run(pkgs, analyzers)
+	for _, f := range res.Findings {
+		fmt.Println(rel(loader.Root, f))
+	}
+	if verbose {
+		for _, s := range res.Suppressions {
+			pos := s.Pos
+			if r, err := filepath.Rel(loader.Root, pos.Filename); err == nil {
+				pos.Filename = r
+			}
+			label := "suppressed"
+			if !s.Used() {
+				// Present but silenced nothing in this run (rule filtered
+				// out by -rules, or the guarded code no longer trips it).
+				label = "directive (unused)"
+			}
+			fmt.Fprintf(os.Stderr, "%s %s:%d: [%s] %s\n", label, pos.Filename, pos.Line, s.Rule, s.Reason)
+		}
+	}
+	total := 0
+	for _, n := range res.Suppressed {
+		total += n
+	}
+	fmt.Fprintf(os.Stderr, "reaperlint: %d package(s), %d finding(s), %d suppressed\n",
+		len(pkgs), len(res.Findings), total)
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// load resolves one package pattern: "dir/..." scans a subtree, a plain
+// directory loads a single package.
+func load(loader *lint.Loader, pat string) ([]*lint.Package, error) {
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		if rest == "." || rest == "" {
+			return loader.LoadAll()
+		}
+		return loader.LoadUnder(rest)
+	}
+	p, err := loader.LoadDir(pat)
+	if err != nil {
+		return nil, err
+	}
+	return []*lint.Package{p}, nil
+}
+
+func rel(root string, f lint.Finding) string {
+	if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+		f.Pos.Filename = r
+	}
+	return f.String()
+}

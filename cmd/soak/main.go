@@ -9,7 +9,8 @@
 // Usage:
 //
 //	soak [-chips N] [-hours H] [-window H] [-seed S] [-workers N]
-//	     [-target ms] [-max-uber F] [-baseline] [-quick] [-out file.json]
+//	     [-target ms] [-max-uber F] [-baseline] [-quick]
+//	     [-scenario default|quiet|harsh] [-out file.json]
 package main
 
 import (
@@ -19,10 +20,53 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	"reaper/internal/experiments"
+	"reaper/internal/faultinject"
 	"reaper/internal/parallel"
 )
+
+// scenarios names the fault-injection presets -scenario accepts. Each entry
+// derives from faultinject.DefaultScenario (with the same seed split the
+// soak harness uses, so "default" is bit-identical to passing no flag) and
+// scales the hazard rates.
+var scenarios = map[string]func(seed uint64, targetInterval float64) *faultinject.Scenario{
+	// The standard soak hazards, unchanged.
+	"default": func(uint64, float64) *faultinject.Scenario { return nil },
+	// Half-rate hazards and no round aborts: a benign deployment.
+	"quiet": func(seed uint64, target float64) *faultinject.Scenario {
+		sc := faultinject.DefaultScenario(seed, target)
+		sc.VRTBurstMeanHours *= 2
+		sc.DPDFlipMeanHours *= 2
+		sc.TempExcursionMeanHours *= 2
+		sc.WeakArrivalPerHour /= 2
+		sc.RoundAbortProb = 0
+		return &sc
+	},
+	// Double-rate hazards, hotter excursions, frequent aborts: a hostile
+	// thermal environment.
+	"harsh": func(seed uint64, target float64) *faultinject.Scenario {
+		sc := faultinject.DefaultScenario(seed, target)
+		sc.VRTBurstMeanHours /= 2
+		sc.DPDFlipMeanHours /= 2
+		sc.TempExcursionMeanHours /= 2
+		sc.TempExcursionPeakC += 4
+		sc.WeakArrivalPerHour *= 2
+		sc.RoundAbortProb = 0.25
+		return &sc
+	},
+}
+
+func scenarioNames() string {
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	chips := flag.Int("chips", 4, "fleet size")
@@ -35,8 +79,20 @@ func main() {
 	maxUBER := flag.Float64("max-uber", 1e-4, "survival criterion: max cumulative UBER")
 	baseline := flag.Bool("baseline", false, "disable the resilience controller (open-loop baseline)")
 	quick := flag.Bool("quick", false, "short deterministic soak (2 chips, 48 hours)")
+	scenario := flag.String("scenario", "default",
+		"named fault scenario: "+scenarioNames())
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
 	flag.Parse()
+
+	if *workers < 1 {
+		log.Printf("soak: -workers must be >= 1 (got %d)", *workers)
+		os.Exit(2)
+	}
+	mkScenario, ok := scenarios[*scenario]
+	if !ok {
+		log.Printf("soak: unknown scenario %q; valid scenarios: %s", *scenario, scenarioNames())
+		os.Exit(2)
+	}
 
 	cfg := experiments.DefaultSoakConfig(*seed)
 	cfg.Chips = *chips
@@ -46,6 +102,9 @@ func main() {
 	cfg.TargetInterval = *targetMs / 1000
 	cfg.MaxUBER = *maxUBER
 	cfg.Controller = !*baseline
+	// The seed split matches the harness's own default-scenario derivation,
+	// so -scenario default is bit-identical to omitting the flag.
+	cfg.Scenario = mkScenario(*seed^0xFA177, cfg.TargetInterval)
 	if *quick {
 		cfg.Chips = 2
 		cfg.Hours = 48

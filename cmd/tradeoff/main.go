@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,7 +38,7 @@ func main() {
 		cfg.Iterations = 8
 		cfg.MaxIterations = 32
 	}
-	points, err := experiments.Fig9Fig10Tradeoff(cfg)
+	points, err := experiments.Fig9Fig10Tradeoff(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

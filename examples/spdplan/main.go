@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func mkStation() (*memctrl.Station, error) {
 func main() {
 	// --- Vendor side: characterize the chip and write the SPD payload.
 	fmt.Println("characterizing chip (vendor side) ...")
-	c, err := spd.Characterize(mkStation, spd.DefaultCharacterizeConfig())
+	c, err := spd.Characterize(context.Background(), mkStation, spd.DefaultCharacterizeConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -127,8 +127,8 @@ func (p TradeoffPoint) Speedup() float64 {
 // return a freshly constructed station over an *identically seeded* device
 // each call, so that every grid point profiles the same chip from the same
 // initial state. Points are returned in row-major order: for each delta
-// temperature, each delta interval.
-func ExploreTradeoffs(mkStation func() (*memctrl.Station, error), cfg TradeoffConfig) ([]TradeoffPoint, error) {
+// temperature, each delta interval. Cancelling ctx aborts the grid.
+func ExploreTradeoffs(ctx context.Context, mkStation func() (*memctrl.Station, error), cfg TradeoffConfig) ([]TradeoffPoint, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -159,7 +159,7 @@ func ExploreTradeoffs(mkStation func() (*memctrl.Station, error), cfg TradeoffCo
 	// station and only reads the shared reference — so fan them out on the
 	// pool in row-major submission order.
 	nI := len(cfg.DeltaIntervals)
-	points, err := parallel.Map(context.Background(), len(cfg.DeltaTemps)*nI, cfg.Workers,
+	points, err := parallel.Map(ctx, len(cfg.DeltaTemps)*nI, cfg.Workers,
 		func(_ context.Context, job int) (TradeoffPoint, error) {
 			dT := cfg.DeltaTemps[job/nI]
 			dI := cfg.DeltaIntervals[job%nI]

@@ -1,22 +1,23 @@
 package core
 
 import (
+	"context"
 	"testing"
 )
 
 func TestTradeoffConfigValidation(t *testing.T) {
 	mk := mkStation(20)
 	bad := TradeoffConfig{TargetInterval: 0}
-	if _, err := ExploreTradeoffs(mk, bad); err == nil {
+	if _, err := ExploreTradeoffs(context.Background(), mk, bad); err == nil {
 		t.Error("zero target interval not rejected")
 	}
 	bad = TradeoffConfig{TargetInterval: 1, DeltaIntervals: nil, DeltaTemps: []float64{0}}
-	if _, err := ExploreTradeoffs(mk, bad); err == nil {
+	if _, err := ExploreTradeoffs(context.Background(), mk, bad); err == nil {
 		t.Error("empty grid not rejected")
 	}
 	bad = TradeoffConfig{TargetInterval: 1, CoverageGoal: 1.5,
 		DeltaIntervals: []float64{0}, DeltaTemps: []float64{0}}
-	if _, err := ExploreTradeoffs(mk, bad); err == nil {
+	if _, err := ExploreTradeoffs(context.Background(), mk, bad); err == nil {
 		t.Error("coverage goal > 1 not rejected")
 	}
 }
@@ -32,7 +33,7 @@ func TestExploreTradeoffsGrid(t *testing.T) {
 		MaxIterations:  30,
 		Options:        Options{FreshRandomPerIteration: true, Seed: 5},
 	}
-	points, err := ExploreTradeoffs(mkStation(21), cfg)
+	points, err := ExploreTradeoffs(context.Background(), mkStation(21), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestReachSpeedupHeadline(t *testing.T) {
 		MaxIterations:  80,
 		Options:        Options{FreshRandomPerIteration: true, Seed: 9},
 	}
-	points, err := ExploreTradeoffs(mkStation(22), cfg)
+	points, err := ExploreTradeoffs(context.Background(), mkStation(22), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,10 +79,12 @@ func init() {
 		case 1:
 			bchGen |= 1 << uint(d)
 		default:
+			//lint:ignore no-panic init-time self-check of a compile-time constant polynomial
 			panic("ecc: BCH generator polynomial not over GF(2)")
 		}
 	}
 	if bchGen>>bchCheckBits != 1 {
+		//lint:ignore no-panic init-time self-check of a compile-time constant polynomial
 		panic("ecc: BCH generator degree != 14")
 	}
 }
@@ -96,6 +98,7 @@ func gfMul(a, b byte) byte {
 
 func gfInv(a byte) byte {
 	if a == 0 {
+		//lint:ignore no-panic GF(2^8) has no inverse of zero; reaching here is a codec bug, not an input error
 		panic("ecc: inverse of zero")
 	}
 	return gfExp[gfOrder-gfLog[a]]
@@ -206,6 +209,7 @@ func DecodeBCH(w BCHWord) (data uint64, status DecodeStatus, fixed int) {
 // flipped: positions 0-13 are check bits, 14-77 are data bits.
 func FlipBCHBit(w BCHWord, pos int) BCHWord {
 	if pos < 0 || pos >= bchBits {
+		//lint:ignore no-panic fault-injection API precondition, asserted by tests (bch_test.go)
 		panic("ecc: FlipBCHBit position out of range")
 	}
 	w.flip(pos)

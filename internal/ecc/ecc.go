@@ -272,6 +272,7 @@ func unpackWord(w Word72) [72]bool {
 // bit, powers of two are Hamming parity bits, the rest are data bits.
 func FlipBit(w Word72, pos int) Word72 {
 	if pos < 0 || pos >= 72 {
+		//lint:ignore no-panic fault-injection API precondition, asserted by tests (ecc_test.go)
 		panic("ecc: FlipBit position out of range")
 	}
 	word := unpackWord(w)

@@ -30,7 +30,7 @@ type VRTAblationResult struct {
 // finite and accumulation collapses — one-time offline profiling would
 // suffice; with VRT it never does (Corollary 2: online profiling is
 // required *because of* VRT).
-func AblationVRT(chip ChipSpec, intervalS float64, iterations int, simHours float64) (*VRTAblationResult, error) {
+func AblationVRT(ctx context.Context, chip ChipSpec, intervalS float64, iterations int, simHours float64) (*VRTAblationResult, error) {
 	run := func(disable bool) (float64, error) {
 		c := chip
 		c.DisableVRT = disable
@@ -73,7 +73,7 @@ func AblationVRT(chip ChipSpec, intervalS float64, iterations int, simHours floa
 	}
 	// The two arms build independent chips; run them as parallel thunks.
 	var with, without float64
-	err := parallel.Do(context.Background(), 0,
+	err := parallel.Do(ctx, 0,
 		func(context.Context) error { var e error; with, e = run(false); return e },
 		func(context.Context) error { var e error; without, e = run(true); return e },
 	)
@@ -100,7 +100,7 @@ type DPDAblationResult struct {
 // an identical chip without it. Without DPD one pattern pair suffices; with
 // DPD it cannot reach the worst-case-pattern population (Corollary 3:
 // multiple data patterns are required *because of* DPD).
-func AblationDPD(chip ChipSpec, intervalS float64, iterations int) (*DPDAblationResult, error) {
+func AblationDPD(ctx context.Context, chip ChipSpec, intervalS float64, iterations int) (*DPDAblationResult, error) {
 	run := func(disable bool) (float64, error) {
 		c := chip
 		c.DisableDPD = disable
@@ -122,7 +122,7 @@ func AblationDPD(chip ChipSpec, intervalS float64, iterations int) (*DPDAblation
 		return core.Coverage(res.Failures, truth), nil
 	}
 	var with, without float64
-	err := parallel.Do(context.Background(), 0,
+	err := parallel.Do(ctx, 0,
 		func(context.Context) error { var e error; with, e = run(false); return e },
 		func(context.Context) error { var e error; without, e = run(true); return e },
 	)
@@ -154,7 +154,7 @@ type KnobAblationResult struct {
 // equivalence at these conditions), demonstrating Section 5.5's claim that
 // the two knobs are interchangeable. All three are scored against the
 // oracle truth at the target conditions on identically seeded chips.
-func AblationReachKnobs(chip ChipSpec, target, deltaInterval, deltaTemp float64, iterations int) (*KnobAblationResult, error) {
+func AblationReachKnobs(ctx context.Context, chip ChipSpec, target, deltaInterval, deltaTemp float64, iterations int) (*KnobAblationResult, error) {
 	measure := func(reach core.ReachConditions) (KnobPoint, error) {
 		st, err := chip.NewStation()
 		if err != nil {
@@ -176,7 +176,7 @@ func AblationReachKnobs(chip ChipSpec, target, deltaInterval, deltaTemp float64,
 		}, nil
 	}
 	// The three knob settings profile independent identically-seeded chips.
-	points, err := parallel.Map(context.Background(), 3, 0,
+	points, err := parallel.Map(ctx, 3, 0,
 		func(_ context.Context, i int) (KnobPoint, error) {
 			switch i {
 			case 0:

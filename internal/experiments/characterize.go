@@ -52,8 +52,8 @@ func DefaultFig2Config() Fig2Config {
 }
 
 // Fig2RetentionDistribution runs the Figure 2 experiment across the three
-// vendors.
-func Fig2RetentionDistribution(cfg Fig2Config) ([]Fig2Row, error) {
+// vendors. Cancelling ctx aborts the sweep.
+func Fig2RetentionDistribution(ctx context.Context, cfg Fig2Config) ([]Fig2Row, error) {
 	if cfg.Chip == nil {
 		cfg.Chip = func(v dram.VendorParams, seed uint64) ChipSpec {
 			c := DefaultChipSpec(seed)
@@ -62,7 +62,7 @@ func Fig2RetentionDistribution(cfg Fig2Config) ([]Fig2Row, error) {
 		}
 	}
 	vendors := dram.Vendors()
-	perVendor, err := parallel.Map(context.Background(), len(vendors), cfg.Workers,
+	perVendor, err := parallel.Map(ctx, len(vendors), cfg.Workers,
 		func(_ context.Context, vi int) ([]Fig2Row, error) {
 			vendor := vendors[vi]
 			spec := cfg.Chip(vendor, cfg.Seed+uint64(vi))
@@ -274,10 +274,10 @@ func DefaultFig4Config() Fig4Config {
 // Fig4AccumulationRates measures and fits the per-vendor rates. Every
 // (vendor, interval) cell simulates an independent chip, so the whole grid
 // fans out on the pool.
-func Fig4AccumulationRates(cfg Fig4Config) ([]Fig4Row, error) {
+func Fig4AccumulationRates(ctx context.Context, cfg Fig4Config) ([]Fig4Row, error) {
 	vendors := dram.Vendors()
 	nI := len(cfg.Intervals)
-	rates, err := parallel.Map(context.Background(), len(vendors)*nI, cfg.Workers,
+	rates, err := parallel.Map(ctx, len(vendors)*nI, cfg.Workers,
 		func(_ context.Context, job int) (float64, error) {
 			vi, interval := job/nI, cfg.Intervals[job%nI]
 			spec := ChipSpec{
@@ -378,8 +378,8 @@ func DefaultFig5Config() Fig5Config {
 
 // Fig5PatternCoverage measures what fraction of all discovered failing
 // cells each data pattern finds on its own.
-func Fig5PatternCoverage(cfg Fig5Config) ([]Fig5Row, error) {
-	perVendor, err := parallel.Map(context.Background(), len(cfg.Vendors), cfg.Workers,
+func Fig5PatternCoverage(ctx context.Context, cfg Fig5Config) ([]Fig5Row, error) {
+	perVendor, err := parallel.Map(ctx, len(cfg.Vendors), cfg.Workers,
 		func(_ context.Context, vi int) ([]Fig5Row, error) {
 			return fig5Vendor(cfg, vi)
 		})

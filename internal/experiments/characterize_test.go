@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func TestFig2ShapesMatchPaper(t *testing.T) {
 		c.Vendor = v
 		return c
 	}
-	rows, err := Fig2RetentionDistribution(cfg)
+	rows, err := Fig2RetentionDistribution(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestFig4RatesGrowPolynomially(t *testing.T) {
 		ChipBits:   8 << 20,
 		WeakScale:  150,
 	}
-	rows, err := Fig4AccumulationRates(cfg)
+	rows, err := Fig4AccumulationRates(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestFig5RandomPatternWins(t *testing.T) {
 		ChipBits:   16 << 20,
 		WeakScale:  30,
 	}
-	rows, err := Fig5PatternCoverage(cfg)
+	rows, err := Fig5PatternCoverage(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

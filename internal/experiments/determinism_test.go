@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -18,12 +19,12 @@ func TestPopulationSweepDeterministic(t *testing.T) {
 	cfg.ChipBits = 8 << 20
 
 	cfg.Workers = 1
-	seq, err := PopulationSweep(cfg)
+	seq, err := PopulationSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 8
-	par, err := PopulationSweep(cfg)
+	par, err := PopulationSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,12 +42,12 @@ func TestTradeoffGridDeterministic(t *testing.T) {
 	cfg.MaxIterations = 8
 
 	cfg.Workers = 1
-	seq, err := Fig9Fig10Tradeoff(cfg)
+	seq, err := Fig9Fig10Tradeoff(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 8
-	par, err := Fig9Fig10Tradeoff(cfg)
+	par, err := Fig9Fig10Tradeoff(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,12 +69,12 @@ func TestFig13Deterministic(t *testing.T) {
 	cfg.InstructionsPerCore = 50_000
 
 	cfg.Workers = 1
-	seq, err := Fig13EndToEnd(cfg)
+	seq, err := Fig13EndToEnd(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 8
-	par, err := Fig13EndToEnd(cfg)
+	par, err := Fig13EndToEnd(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -250,7 +250,7 @@ type Fig13Cell struct {
 // baseline and at each target interval, apply Equation 8 with each
 // mechanism's profiling overhead, and evaluate DRAM power from the measured
 // traffic.
-func Fig13EndToEnd(cfg Fig13Config) ([]Fig13Cell, error) {
+func Fig13EndToEnd(ctx context.Context, cfg Fig13Config) ([]Fig13Cell, error) {
 	if cfg.Mixes <= 0 || cfg.PerMix <= 0 {
 		return nil, fmt.Errorf("experiments: invalid mix config")
 	}
@@ -286,7 +286,7 @@ func Fig13EndToEnd(cfg Fig13Config) ([]Fig13Cell, error) {
 			scfg.Seed = cfg.Seed
 			// Mixes are independent pure simulations; fan them out.
 			type mixOut struct{ ws, power float64 }
-			per, err := parallel.Map(context.Background(), len(mixes), cfg.Workers,
+			per, err := parallel.Map(ctx, len(mixes), cfg.Workers,
 				func(_ context.Context, i int) (mixOut, error) {
 					mix := mixes[i]
 					res, err := sysperf.Simulate(mix, scfg)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -117,7 +118,7 @@ func fastFig13() Fig13Config {
 }
 
 func TestFig13EndToEndShape(t *testing.T) {
-	cells, err := Fig13EndToEnd(fastFig13())
+	cells, err := Fig13EndToEnd(context.Background(), fastFig13())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFig13LongevityCadence(t *testing.T) {
 	cfg := fastFig13()
 	cfg.Intervals = []float64{1.024}
 	cfg.Cadence = CadenceLongevity
-	cells, err := Fig13EndToEnd(cfg)
+	cells, err := Fig13EndToEnd(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,12 +214,12 @@ func TestFig13LongevityCadence(t *testing.T) {
 func TestFig13RejectsBadConfig(t *testing.T) {
 	cfg := fastFig13()
 	cfg.Mixes = 0
-	if _, err := Fig13EndToEnd(cfg); err == nil {
+	if _, err := Fig13EndToEnd(context.Background(), cfg); err == nil {
 		t.Error("zero mixes not rejected")
 	}
 	cfg = fastFig13()
 	cfg.ChipGbs = []int{7}
-	if _, err := Fig13EndToEnd(cfg); err == nil {
+	if _, err := Fig13EndToEnd(context.Background(), cfg); err == nil {
 		t.Error("unsupported chip density not rejected")
 	}
 }

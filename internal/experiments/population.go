@@ -75,7 +75,7 @@ type PopulationResult struct {
 // Chips are evaluated on the parallel fleet engine; every chip owns a
 // disjoint simulated device and RNG seed, so results are byte-identical to
 // a sequential sweep regardless of cfg.Workers.
-func PopulationSweep(cfg PopulationConfig) ([]PopulationResult, error) {
+func PopulationSweep(ctx context.Context, cfg PopulationConfig) ([]PopulationResult, error) {
 	if cfg.ChipsPerVendor <= 0 {
 		return nil, fmt.Errorf("experiments: fleet size must be positive")
 	}
@@ -83,7 +83,7 @@ func PopulationSweep(cfg PopulationConfig) ([]PopulationResult, error) {
 	// Flatten the vendor x chip fleet into one job list so a small fleet of
 	// large chips still saturates the pool.
 	n := len(vendors) * cfg.ChipsPerVendor
-	chips, err := parallel.Map(context.Background(), n, cfg.Workers,
+	chips, err := parallel.Map(ctx, n, cfg.Workers,
 		func(_ context.Context, job int) (ChipResult, error) {
 			vi, c := job/cfg.ChipsPerVendor, job%cfg.ChipsPerVendor
 			vendor := vendors[vi]

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ func TestPopulationSweep(t *testing.T) {
 	cfg := DefaultPopulationConfig()
 	cfg.ChipsPerVendor = 3
 	cfg.ChipBits = 8 << 20
-	results, err := PopulationSweep(cfg)
+	results, err := PopulationSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestPopulationSweep(t *testing.T) {
 func TestPopulationSweepValidation(t *testing.T) {
 	cfg := DefaultPopulationConfig()
 	cfg.ChipsPerVendor = 0
-	if _, err := PopulationSweep(cfg); err == nil {
+	if _, err := PopulationSweep(context.Background(), cfg); err == nil {
 		t.Error("zero fleet not rejected")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"reaper/internal/core"
@@ -48,9 +49,9 @@ func DefaultFig9Config() Fig9Config {
 // Fig9Fig10Tradeoff runs the grid; the returned points carry both the
 // Figure 9 quantities (coverage, FPR at 16 iterations) and the Figure 10
 // quantity (runtime to the coverage goal, normalized to brute force).
-func Fig9Fig10Tradeoff(cfg Fig9Config) ([]core.TradeoffPoint, error) {
+func Fig9Fig10Tradeoff(ctx context.Context, cfg Fig9Config) ([]core.TradeoffPoint, error) {
 	mk := func() (*memctrl.Station, error) { return cfg.Chip.NewStation() }
-	return core.ExploreTradeoffs(mk, core.TradeoffConfig{
+	return core.ExploreTradeoffs(ctx, mk, core.TradeoffConfig{
 		TargetInterval: cfg.TargetInterval,
 		TargetTempC:    cfg.TargetTempC,
 		DeltaIntervals: cfg.DeltaIntervals,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,7 @@ func TestFig9Fig10Grid(t *testing.T) {
 	cfg.DeltaTemps = []float64{0, 5}
 	cfg.Iterations = 8
 	cfg.MaxIterations = 32
-	points, err := Fig9Fig10Tradeoff(cfg)
+	points, err := Fig9Fig10Tradeoff(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestHeadline(t *testing.T) {
 	cfg.DeltaTemps = []float64{0, 10}
 	cfg.Iterations = 8
 	cfg.MaxIterations = 32
-	points, err := Fig9Fig10Tradeoff(cfg)
+	points, err := Fig9Fig10Tradeoff(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,9 @@
+package lint
+
+// LoadDirAs loads the single package in dir under an assumed import path.
+// The fixture tests use this to exercise path-based allowlists: the same
+// fixture package is loaded once as an internal simulation package (where a
+// rule fires) and once under an allowlisted path (where it must not).
+func (l *Loader) LoadDirAs(path, dir string) (*Package, error) {
+	return l.check(path, dir)
+}

@@ -1,0 +1,34 @@
+// Package ctxfix exercises the ctx-first rule: exported functions take
+// their context first, and library code never mints its own background
+// context — cancellation flows down from main or the test.
+package ctxfix
+
+import "context"
+
+// RunFirst is the allowed negative: ctx in position zero.
+func RunFirst(ctx context.Context, hours float64) error {
+	return ctx.Err()
+}
+
+// RunLast buries the context behind other parameters.
+func RunLast(hours float64, ctx context.Context) error { // WANT ctx-first
+	return ctx.Err()
+}
+
+// runLast is allowed: the rule governs the exported API surface.
+func runLast(hours float64, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Detached mints its own root context, cutting the caller's cancellation
+// chain.
+func Detached() error {
+	ctx := context.Background() // WANT ctx-first
+	return ctx.Err()
+}
+
+// Forward is the allowed negative for call sites: deriving from the
+// caller's context keeps the chain intact.
+func Forward(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

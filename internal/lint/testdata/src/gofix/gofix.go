@@ -1,0 +1,28 @@
+// Package gofix exercises the naked-goroutine rule: concurrency must flow
+// through the deterministic ordered pool in internal/parallel. The tests
+// load this package once as an ordinary simulation package (flagged) and
+// once under the internal/parallel path (allowed).
+package gofix
+
+import "sync"
+
+// FanOut spawns raw goroutines: completion order races, so any reduction
+// over results is nondeterministic.
+func FanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func() { // WANT naked-goroutine
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}
+
+// Sequential is the allowed negative: plain ordered execution.
+func Sequential(jobs []func()) {
+	for _, job := range jobs {
+		job()
+	}
+}

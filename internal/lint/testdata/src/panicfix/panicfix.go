@@ -1,0 +1,22 @@
+// Package panicfix exercises the no-panic rule: library packages return
+// errors; only commands may crash at the edge.
+package panicfix
+
+import "errors"
+
+// MustPositive is the true positive: a library function crashing the
+// process instead of returning the error.
+func MustPositive(n int) int {
+	if n <= 0 {
+		panic("panicfix: non-positive n") // WANT no-panic
+	}
+	return n
+}
+
+// CheckedPositive is the allowed negative: the same guard, returned.
+func CheckedPositive(n int) (int, error) {
+	if n <= 0 {
+		return 0, errors.New("panicfix: non-positive n")
+	}
+	return n, nil
+}

@@ -1,0 +1,7 @@
+// Command panicmain is the no-panic rule's allowed negative: package main
+// may crash at the process edge.
+package main
+
+func main() {
+	panic("panicmain: commands may crash at the edge")
+}

@@ -1,0 +1,27 @@
+// Package randfix exercises the raw-rand rule: math/rand is forbidden
+// outside internal/rng. The tests load this package once as a simulation
+// package (the import is flagged) and once as internal/rng/compat (allowed).
+package randfix
+
+import (
+	"math/rand" // WANT raw-rand
+	"sort"
+)
+
+// Shuffled is the true positive's use site: an ad-hoc generator seeded from
+// a constant, exactly the pattern that breaks the seed-split discipline.
+func Shuffled(n int) []int {
+	r := rand.New(rand.NewSource(1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(n)
+	}
+	return out
+}
+
+// Deterministic is the allowed negative: no randomness at all.
+func Deterministic(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

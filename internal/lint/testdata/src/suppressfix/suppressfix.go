@@ -1,0 +1,41 @@
+// Package suppressfix exercises //lint:ignore handling: a justified
+// directive silences its rule (and is counted), a directive without a
+// reason is itself a finding, and justifications work both trailing the
+// offending line and standing alone above it.
+package suppressfix
+
+// Guarded carries a trailing justified suppression: no finding, counted.
+func Guarded(n int) int {
+	if n < 0 {
+		panic("suppressfix: negative n") //lint:ignore no-panic invariant guard exercised only by harness bugs
+	}
+	return n
+}
+
+// GuardedAbove carries a standalone justified suppression on the line
+// above: no finding, counted.
+func GuardedAbove(n int) int {
+	if n < 0 {
+		//lint:ignore no-panic invariant guard exercised only by harness bugs
+		panic("suppressfix: negative n")
+	}
+	return n
+}
+
+// Unjustified has a directive with no reason: the panic still fires the
+// rule, and the directive itself is a lint-directive finding.
+func Unjustified(n int) int {
+	if n < 0 {
+		panic("suppressfix: negative n") //lint:ignore no-panic
+	}
+	return n
+}
+
+// WrongRule suppresses a different rule than the one that fires: the panic
+// finding must survive.
+func WrongRule(n int) int {
+	if n < 0 {
+		panic("suppressfix: negative n") //lint:ignore map-order misdirected justification
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+// Package timefix exercises the nondeterm-time rule: wall-clock reads are
+// forbidden in simulation packages but fine in command front-ends (the same
+// file is loaded under both kinds of import path by the tests).
+package timefix
+
+import "time"
+
+// SimulatedClock is the allowed negative: durations and time arithmetic on
+// caller-supplied instants are deterministic.
+func SimulatedClock(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Elapsed is the allowed negative for explicit instants: pure arithmetic.
+func Elapsed(start, end time.Time) time.Duration { return end.Sub(start) }
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // WANT nondeterm-time
+}
+
+// Age measures real elapsed time.
+func Age(start time.Time) time.Duration {
+	return time.Since(start) // WANT nondeterm-time
+}
+
+// Nap sleeps in real time.
+func Nap() {
+	time.Sleep(time.Millisecond) // WANT nondeterm-time
+}

@@ -32,6 +32,7 @@ func (c *Clock) Now() float64 { return c.now }
 // simulated time is monotonic.
 func (c *Clock) Advance(d float64) {
 	if d < 0 {
+		//lint:ignore no-panic monotonic-clock invariant: a negative advance is a simulator bug, never input
 		panic("memctrl: clock cannot move backwards")
 	}
 	c.now += d

@@ -87,6 +87,10 @@ func (m *Module) SetWorkers(n int) { m.workers = n }
 // is a pool failure — a panic in fn captured as a *parallel.PanicError — so
 // it is not lost on a worker goroutine.
 func (m *Module) forEachChip(fn func(ci int, dev *dram.Device)) error {
+	// The chip fan-out runs microsecond-scale device steps inside the
+	// core.TestStation methods, whose signatures cannot carry a ctx;
+	// cancellation happens at experiment granularity above this layer.
+	//lint:ignore ctx-first TestStation interface methods cannot carry a ctx; cancellation is experiment-granular
 	return parallel.ForEach(context.Background(), len(m.devs), m.workers,
 		func(_ context.Context, ci int) error {
 			fn(ci, m.devs[ci])

@@ -62,6 +62,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 		return nil, nil
 	}
 	if ctx == nil {
+		//lint:ignore ctx-first nil-ctx convenience default at the pool boundary, not a severed cancellation chain
 		ctx = context.Background()
 	}
 	workers = clampWorkers(workers, n)

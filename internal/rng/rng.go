@@ -92,6 +92,7 @@ func (s *Source) Float64() float64 {
 // Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
+		//lint:ignore no-panic math/rand-style API precondition, kept for drop-in compatibility
 		panic("rng: Intn with non-positive n")
 	}
 	return int(s.Uint64n(uint64(n)))
@@ -101,6 +102,7 @@ func (s *Source) Intn(n int) int {
 // n == 0. Uses Lemire's multiply-shift rejection method.
 func (s *Source) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		//lint:ignore no-panic math/rand-style API precondition, kept for drop-in compatibility
 		panic("rng: Uint64n with zero n")
 	}
 	// Fast path for powers of two.
@@ -141,6 +143,7 @@ func (s *Source) LogNormal(mu, sigma float64) float64 {
 // It panics if mean <= 0.
 func (s *Source) Exp(mean float64) float64 {
 	if mean <= 0 {
+		//lint:ignore no-panic math/rand-style API precondition, kept for drop-in compatibility
 		panic("rng: Exp with non-positive mean")
 	}
 	u := s.Float64()

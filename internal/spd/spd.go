@@ -13,6 +13,7 @@
 package spd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -111,7 +112,7 @@ func DefaultCharacterizeConfig() CharacterizeConfig {
 
 // Characterize measures a chip. mkStation must return a fresh station over
 // an identically seeded device each call.
-func Characterize(mkStation func() (*memctrl.Station, error), cfg CharacterizeConfig) (*Characterization, error) {
+func Characterize(ctx context.Context, mkStation func() (*memctrl.Station, error), cfg CharacterizeConfig) (*Characterization, error) {
 	if len(cfg.Intervals) < 2 || len(cfg.Temps) < 2 {
 		return nil, fmt.Errorf("spd: need >= 2 intervals and >= 2 temps")
 	}
@@ -177,7 +178,7 @@ func Characterize(mkStation func() (*memctrl.Station, error), cfg CharacterizeCo
 	}
 
 	// Tradeoff samples via the core explorer on fresh stations.
-	points, err := core.ExploreTradeoffs(mkStation, core.TradeoffConfig{
+	points, err := core.ExploreTradeoffs(ctx, mkStation, core.TradeoffConfig{
 		TargetInterval: cfg.ReferenceInterval,
 		TargetTempC:    45,
 		DeltaIntervals: cfg.DeltaIntervals,

@@ -2,6 +2,7 @@ package spd
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func mkStation(seed uint64) func() (*memctrl.Station, error) {
 func characterized(t *testing.T) *Characterization {
 	t.Helper()
 	cfg := DefaultCharacterizeConfig()
-	c, err := Characterize(mkStation(11), cfg)
+	c, err := Characterize(context.Background(), mkStation(11), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,12 +69,12 @@ func TestCharacterizeRecoversCalibration(t *testing.T) {
 func TestCharacterizeValidation(t *testing.T) {
 	cfg := DefaultCharacterizeConfig()
 	cfg.Intervals = []float64{1.024}
-	if _, err := Characterize(mkStation(1), cfg); err == nil {
+	if _, err := Characterize(context.Background(), mkStation(1), cfg); err == nil {
 		t.Error("single interval not rejected")
 	}
 	cfg = DefaultCharacterizeConfig()
 	cfg.Temps = []float64{45}
-	if _, err := Characterize(mkStation(1), cfg); err == nil {
+	if _, err := Characterize(context.Background(), mkStation(1), cfg); err == nil {
 		t.Error("single temperature not rejected")
 	}
 }

@@ -31,10 +31,19 @@ func NormalCDF(x, mu, sigma float64) float64 {
 
 // NormalQuantile returns the x such that NormalCDF(x, mu, sigma) == p.
 // It uses the Acklam rational approximation refined by one Halley step,
-// accurate to ~1e-15 over (0, 1). Panics if p is outside (0, 1).
+// accurate to ~1e-15 over (0, 1). Out-of-range p follows the math
+// convention of the standard library (no panics in library code): the
+// limits -Inf at p <= 0 and +Inf at p >= 1 (or mu when sigma == 0, the
+// point-mass degenerate).
 func NormalQuantile(p, mu, sigma float64) float64 {
 	if p <= 0 || p >= 1 {
-		panic("stats: NormalQuantile requires p in (0,1)")
+		if sigma == 0 {
+			return mu
+		}
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
 	}
 	z := standardNormalQuantile(p)
 	return mu + sigma*z
@@ -180,10 +189,10 @@ func StdDev(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
 // interpolation between closest ranks. It sorts a copy; xs is not modified.
-// Panics on an empty slice.
+// The percentile of no data is NaN.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
+		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -214,10 +223,11 @@ type BoxStats struct {
 	Min, P25, Median, P75, Max, Mean float64
 }
 
-// Box computes BoxStats for xs. Panics on an empty slice.
+// Box computes BoxStats for xs. The summary of no data is all NaN.
 func Box(xs []float64) BoxStats {
 	if len(xs) == 0 {
-		panic("stats: Box of empty slice")
+		nan := math.NaN()
+		return BoxStats{Min: nan, P25: nan, Median: nan, P75: nan, Max: nan, Mean: nan}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -325,13 +335,11 @@ func FitLogNormal(xs []float64) (mu, sigma float64) {
 
 // Histogram bins xs into nbins equal-width bins over [min, max] and returns
 // the bin edges (nbins+1 values) and counts (nbins values). Values outside
-// the range are clamped into the first/last bin.
+// the range are clamped into the first/last bin. A degenerate request
+// (nbins <= 0 or max <= min) has no bins: both results are nil.
 func Histogram(xs []float64, min, max float64, nbins int) (edges []float64, counts []int) {
-	if nbins <= 0 {
-		panic("stats: Histogram needs nbins > 0")
-	}
-	if max <= min {
-		panic("stats: Histogram needs max > min")
+	if nbins <= 0 || max <= min {
+		return nil, nil
 	}
 	edges = make([]float64, nbins+1)
 	width := (max - min) / float64(nbins)

@@ -58,16 +58,34 @@ func TestNormalQuantileTails(t *testing.T) {
 	}
 }
 
-func TestNormalQuantilePanics(t *testing.T) {
-	for _, p := range []float64{0, 1, -0.5, 2} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NormalQuantile(%v) did not panic", p)
-				}
-			}()
-			NormalQuantile(p, 0, 1)
-		}()
+func TestNormalQuantileDegenerate(t *testing.T) {
+	// Out-of-range p follows the mathematical limits instead of panicking.
+	for _, p := range []float64{0, -0.5} {
+		if got := NormalQuantile(p, 0, 1); !math.IsInf(got, -1) {
+			t.Errorf("NormalQuantile(%v) = %v, want -Inf", p, got)
+		}
+	}
+	for _, p := range []float64{1, 2} {
+		if got := NormalQuantile(p, 0, 1); !math.IsInf(got, 1) {
+			t.Errorf("NormalQuantile(%v) = %v, want +Inf", p, got)
+		}
+	}
+	// A point mass (sigma == 0) concentrates everything at mu.
+	if got := NormalQuantile(0, 3, 0); got != 3 {
+		t.Errorf("NormalQuantile(0, 3, 0) = %v, want 3", got)
+	}
+	if got := Percentile(nil, 50); !math.IsNaN(got) {
+		t.Errorf("Percentile(nil) = %v, want NaN", got)
+	}
+	b := Box(nil)
+	if !math.IsNaN(b.Median) || !math.IsNaN(b.Min) || !math.IsNaN(b.Mean) {
+		t.Errorf("Box(nil) = %+v, want all NaN", b)
+	}
+	if e, c := Histogram([]float64{1, 2}, 5, 5, 4); e != nil || c != nil {
+		t.Errorf("Histogram with max <= min = %v, %v, want nil, nil", e, c)
+	}
+	if e, c := Histogram([]float64{1, 2}, 0, 5, 0); e != nil || c != nil {
+		t.Errorf("Histogram with nbins <= 0 = %v, %v, want nil, nil", e, c)
 	}
 }
 

@@ -66,6 +66,7 @@ func (d *dram) resolve(id int64) float64 {
 func (d *dram) scheduleNext(ch int) {
 	q := d.pending[ch]
 	if len(q) == 0 {
+		//lint:ignore no-panic engine-internal invariant: callers check queue emptiness before scheduling
 		panic("sysperf: scheduleNext on empty queue")
 	}
 	t := d.cfg.Timing

@@ -38,6 +38,7 @@
 package reaper
 
 import (
+	"context"
 	"fmt"
 
 	"reaper/internal/core"
@@ -252,8 +253,9 @@ func FalsePositiveRate(found, truth *FailureSet) float64 {
 
 // ExploreTradeoffs sweeps a grid of reach conditions and measures coverage,
 // false positive rate, and runtime at each (the paper's Figures 9 and 10).
-func ExploreTradeoffs(mkStation func() (*Station, error), cfg TradeoffConfig) ([]TradeoffPoint, error) {
-	return core.ExploreTradeoffs(mkStation, cfg)
+// Cancelling ctx aborts the grid.
+func ExploreTradeoffs(ctx context.Context, mkStation func() (*Station, error), cfg TradeoffConfig) ([]TradeoffPoint, error) {
+	return core.ExploreTradeoffs(ctx, mkStation, cfg)
 }
 
 // StandardPatterns returns the six canonical retention-test patterns and

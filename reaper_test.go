@@ -1,6 +1,7 @@
 package reaper
 
 import (
+	"context"
 	"testing"
 )
 
@@ -121,7 +122,7 @@ func TestNewModuleViaFacade(t *testing.T) {
 
 func TestExploreTradeoffsViaFacade(t *testing.T) {
 	mk := func() (*Station, error) { return NewStation(ChipConfig{Seed: 9}) }
-	pts, err := ExploreTradeoffs(mk, TradeoffConfig{
+	pts, err := ExploreTradeoffs(context.Background(), mk, TradeoffConfig{
 		TargetInterval: 1.024,
 		TargetTempC:    RefTempC,
 		DeltaIntervals: []float64{0, 0.25},
