@@ -30,7 +30,7 @@ soak-quick:
 # lint runs reaperlint, the repo's own determinism-and-safety analyzer suite
 # (see DESIGN.md "Invariants"). Exits non-zero on any unsuppressed finding.
 lint:
-	$(GO) run ./cmd/reaperlint ./...
+	$(GO) run ./cmd/reaperlint -md ./...
 
 # lint-fixtures runs the analyzer fixture tests only (fast; -short skips the
 # whole-repo scan that `make lint` already performs).

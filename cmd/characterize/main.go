@@ -1,6 +1,8 @@
 // Command characterize regenerates the paper's characterization figures
 // (Figures 2-8) on simulated chips and prints them as text tables.
 //
+// Exit status: 0 on success, 2 on configuration or runtime errors.
+//
 // Usage:
 //
 //	characterize [-fig N] [-quick] [-seed S] [-workers N]
@@ -24,7 +26,10 @@ import (
 // results are identical at any value (see internal/parallel).
 var workers int
 
-func main() {
+// main delegates to run so the process exits with the uniform status codes.
+func main() { os.Exit(run()) }
+
+func run() int {
 	fig := flag.Int("fig", 0, "figure to regenerate (2-8); 0 = all")
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
 	seed := flag.Uint64("seed", 1, "experiment seed")
@@ -33,6 +38,15 @@ func main() {
 		"worker pool size for fleet sweeps (results are identical at any count)")
 	flag.Parse()
 
+	if workers < 1 {
+		log.Printf("characterize: -workers must be >= 1 (got %d)", workers)
+		return 2
+	}
+	if *fig != 0 && (*fig < 2 || *fig > 8) {
+		log.Printf("characterize: unknown figure %d; valid figures: 2-8 (or 0 for all)", *fig)
+		return 2
+	}
+
 	if *population > 0 {
 		cfg := experiments.DefaultPopulationConfig()
 		cfg.ChipsPerVendor = *population
@@ -40,44 +54,41 @@ func main() {
 		cfg.Workers = workers
 		results, err := experiments.PopulationSweep(context.Background(), cfg)
 		if err != nil {
-			log.Fatal(err)
+			log.Println(err)
+			return 2
 		}
 		experiments.PopulationTable(results).Render(os.Stdout)
 		if *fig == 0 {
-			return
+			return 0
 		}
 	}
 
-	run := func(n int) {
-		switch n {
-		case 2:
-			fig2(*quick, *seed)
-		case 3:
-			fig3(*quick, *seed)
-		case 4:
-			fig4(*quick, *seed)
-		case 5:
-			fig5(*quick, *seed)
-		case 6:
-			fig6(*quick, *seed)
-		case 7:
-			fig7(*seed)
-		case 8:
-			fig8(*seed)
-		default:
-			log.Fatalf("unknown figure %d (supported: 2-8)", n)
-		}
+	figs := map[int]func(bool, uint64) error{
+		2: fig2,
+		3: fig3,
+		4: fig4,
+		5: fig5,
+		6: fig6,
+		7: func(_ bool, seed uint64) error { return fig7(seed) },
+		8: func(_ bool, seed uint64) error { return fig8(seed) },
 	}
 	if *fig != 0 {
-		run(*fig)
-		return
+		if err := figs[*fig](*quick, *seed); err != nil {
+			log.Println(err)
+			return 2
+		}
+		return 0
 	}
 	for n := 2; n <= 8; n++ {
-		run(n)
+		if err := figs[n](*quick, *seed); err != nil {
+			log.Println(err)
+			return 2
+		}
 	}
+	return 0
 }
 
-func fig2(quick bool, seed uint64) {
+func fig2(quick bool, seed uint64) error {
 	cfg := experiments.DefaultFig2Config()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -86,12 +97,13 @@ func fig2(quick bool, seed uint64) {
 	}
 	rows, err := experiments.Fig2RetentionDistribution(context.Background(), cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	experiments.Fig2Table(rows).Render(os.Stdout)
+	return nil
 }
 
-func fig3(quick bool, seed uint64) {
+func fig3(quick bool, seed uint64) error {
 	cfg := experiments.DefaultFig3Config()
 	cfg.Chip.Seed = seed
 	if quick {
@@ -100,7 +112,7 @@ func fig3(quick bool, seed uint64) {
 	}
 	res, err := experiments.Fig3VRTAccumulation(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t := &experiments.Table{
 		Title:  "Figure 3: failure discovery over continuous brute-force profiling @2048ms",
@@ -117,9 +129,10 @@ func fig3(quick bool, seed uint64) {
 		}
 	}
 	t.Render(os.Stdout)
+	return nil
 }
 
-func fig4(quick bool, seed uint64) {
+func fig4(quick bool, seed uint64) error {
 	cfg := experiments.DefaultFig4Config()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -130,12 +143,13 @@ func fig4(quick bool, seed uint64) {
 	}
 	rows, err := experiments.Fig4AccumulationRates(context.Background(), cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	experiments.Fig4Table(rows).Render(os.Stdout)
+	return nil
 }
 
-func fig5(quick bool, seed uint64) {
+func fig5(quick bool, seed uint64) error {
 	cfg := experiments.DefaultFig5Config()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -145,12 +159,13 @@ func fig5(quick bool, seed uint64) {
 	}
 	rows, err := experiments.Fig5PatternCoverage(context.Background(), cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	experiments.Fig5Table(rows).Render(os.Stdout)
+	return nil
 }
 
-func fig6(quick bool, seed uint64) {
+func fig6(quick bool, seed uint64) error {
 	cfg := experiments.DefaultFig6Config()
 	cfg.Chip.Seed = seed
 	if quick {
@@ -159,7 +174,7 @@ func fig6(quick bool, seed uint64) {
 	}
 	res, err := experiments.Fig6CellCDFs(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t := &experiments.Table{
 		Title:  "Figure 6: per-cell failure CDFs (normal) and sigma population (lognormal), 40°C",
@@ -174,13 +189,14 @@ func fig6(quick bool, seed uint64) {
 	t.AddRow("sigma lognormal sigma", fmt.Sprintf("%.3f", res.SigmaLogSigma))
 	t.AddRow("fraction of sigmas < 200ms", experiments.Pct(res.FracSigmaBelow200ms))
 	t.Render(os.Stdout)
+	return nil
 }
 
-func fig7(seed uint64) {
+func fig7(seed uint64) error {
 	chip := experiments.DefaultChipSpec(seed)
 	rows, err := experiments.Fig7TemperatureShift(chip, []float64{40, 45, 50, 55})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t := &experiments.Table{
 		Title:   "Figure 7: (mu, sigma) distributions vs temperature",
@@ -192,14 +208,15 @@ func fig7(seed uint64) {
 			fmt.Sprintf("%.3f", r.MedianMuS), fmt.Sprintf("%.4f", r.MedianSigma))
 	}
 	t.Render(os.Stdout)
+	return nil
 }
 
-func fig8(seed uint64) {
+func fig8(seed uint64) error {
 	chip := experiments.DefaultChipSpec(seed)
 	res, err := experiments.Fig8CombinedDistribution(chip,
 		[]float64{40, 45, 50, 55}, []float64{0.512, 1.024, 2.048, 4.096})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	t := &experiments.Table{
 		Title:  "Figure 8: combined failure probability over temperature x interval",
@@ -215,4 +232,5 @@ func fig8(seed uint64) {
 		t.AddRow(row...)
 	}
 	t.Render(os.Stdout)
+	return nil
 }

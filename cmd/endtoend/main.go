@@ -3,6 +3,8 @@
 // and profiling power), and Figure 13 (system performance and DRAM power
 // across refresh intervals for brute-force, REAPER, and ideal profiling).
 //
+// Exit status: 0 on success, 2 on configuration or runtime errors.
+//
 // Usage:
 //
 //	endtoend [-part table1|fig11|fig13|all] [-quick] [-cadence paper|longevity] [-workers N]
@@ -19,7 +21,10 @@ import (
 	"reaper/internal/parallel"
 )
 
-func main() {
+// main delegates to run so the process exits with the uniform status codes.
+func main() { os.Exit(run()) }
+
+func run() int {
 	part := flag.String("part", "all", "which result to produce: table1, fig11, fig13, all")
 	quick := flag.Bool("quick", false, "reduced mix count and simulation length")
 	cadence := flag.String("cadence", "paper", "fig13 profiling cadence model: paper | longevity")
@@ -28,11 +33,17 @@ func main() {
 		"worker pool size for the fig13 mix simulations (results are identical at any count)")
 	flag.Parse()
 
+	if *workers < 1 {
+		log.Printf("endtoend: -workers must be >= 1 (got %d)", *workers)
+		return 2
+	}
+
 	doTable1 := *part == "all" || *part == "table1"
 	doFig11 := *part == "all" || *part == "fig11" || *part == "fig12" // one harness covers both
 	doFig13 := *part == "all" || *part == "fig13"
 	if !doTable1 && !doFig11 && !doFig13 {
-		log.Fatalf("unknown -part %q", *part)
+		log.Printf("endtoend: unknown part %q; valid parts: table1, fig11, fig12, fig13, all", *part)
+		return 2
 	}
 
 	if doTable1 {
@@ -42,7 +53,8 @@ func main() {
 	if doFig11 {
 		rows, err := experiments.Fig11Fig12ProfilingOverhead(experiments.DefaultFig11Config())
 		if err != nil {
-			log.Fatal(err)
+			log.Println(err)
+			return 2
 		}
 		experiments.Fig11Table(rows).Render(os.Stdout)
 	}
@@ -56,7 +68,8 @@ func main() {
 		case "longevity":
 			cfg.Cadence = experiments.CadenceLongevity
 		default:
-			log.Fatalf("unknown -cadence %q", *cadence)
+			log.Printf("endtoend: unknown cadence %q; valid cadences: paper, longevity", *cadence)
+			return 2
 		}
 		if *quick {
 			cfg.Mixes = 6
@@ -65,8 +78,10 @@ func main() {
 		}
 		cells, err := experiments.Fig13EndToEnd(context.Background(), cfg)
 		if err != nil {
-			log.Fatal(err)
+			log.Println(err)
+			return 2
 		}
 		experiments.Fig13Table(cells).Render(os.Stdout)
 	}
+	return 0
 }

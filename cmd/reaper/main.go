@@ -3,25 +3,39 @@
 // profiling (the paper's contribution), reporting coverage, false positive
 // rate, runtime, and the implied profile longevity under SECDED ECC.
 //
+// Exit status: 0 on success, 2 on configuration or runtime errors.
+//
 // Usage:
 //
 //	reaper [-capacity-mbit N] [-vendor A|B|C] [-seed S]
 //	       [-target ms] [-reach-interval ms] [-reach-temp C]
 //	       [-iterations N] [-chamber] [-workers N]
+//	       [-metrics-out file.json] [-trace-out file.jsonl]
+//	       [-pprof-addr host:port] [-cpuprofile file] [-heapprofile file]
+//
+// -metrics-out and -trace-out opt the run into the deterministic telemetry
+// layer (see OBSERVABILITY.md); -pprof-addr, -cpuprofile, and -heapprofile
+// observe the host process, not the simulation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"reaper"
 	"reaper/internal/ecc"
 	"reaper/internal/longevity"
 	"reaper/internal/parallel"
+	"reaper/internal/telemetry"
 )
 
-func main() {
+// main delegates to run so deferred cleanups (CPU profile stop, pprof
+// server shutdown) execute before the process exits with a status code.
+func main() { os.Exit(run()) }
+
+func run() int {
 	capacityMbit := flag.Int64("capacity-mbit", 256, "chip capacity in Mbit")
 	vendorName := flag.String("vendor", "B", "vendor profile: A, B or C")
 	seed := flag.Uint64("seed", 1, "chip seed (reproducible experiments)")
@@ -33,13 +47,20 @@ func main() {
 	chips := flag.Int("chips", 1, "number of chips (>1 profiles a multi-chip module)")
 	workers := flag.Int("workers", parallel.DefaultWorkers(),
 		"worker pool size for multi-chip module passes (results are identical at any count)")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics snapshot (JSON) to this file")
+	traceOut := flag.String("trace-out", "", "write the profiling trace (JSONL) to this file")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
+	heapprofile := flag.String("heapprofile", "", "write a heap profile of the host process to this file")
 	flag.Parse()
 
 	if *workers < 1 {
-		log.Fatalf("reaper: -workers must be >= 1 (got %d)", *workers)
+		log.Printf("reaper: -workers must be >= 1 (got %d)", *workers)
+		return 2
 	}
 	if *chips < 1 {
-		log.Fatalf("reaper: -chips must be >= 1 (got %d)", *chips)
+		log.Printf("reaper: -chips must be >= 1 (got %d)", *chips)
+		return 2
 	}
 
 	var vendor reaper.VendorParams
@@ -51,7 +72,36 @@ func main() {
 	case "C":
 		vendor = reaper.VendorC()
 	default:
-		log.Fatalf("unknown vendor %q", *vendorName)
+		log.Printf("reaper: unknown vendor %q; valid vendors: A, B, C", *vendorName)
+		return 2
+	}
+
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *metricsOut != "" || *traceOut != "" || *pprofAddr != "" {
+		reg = telemetry.New()
+		tracer = telemetry.NewTracer(telemetry.DefaultTraceCapacity)
+	}
+	if *pprofAddr != "" {
+		srv, err := telemetry.StartServer(*pprofAddr, reg)
+		if err != nil {
+			log.Println(err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "reaper: pprof and /metrics on http://%s\n", srv.Addr())
+	}
+	if *cpuprofile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Println(err)
+			return 2
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Println(err)
+			}
+		}()
 	}
 
 	cfg := reaper.ChipConfig{
@@ -61,33 +111,30 @@ func main() {
 		WithThermalChamber: *chamber,
 	}
 	var st reaper.TestStation
-	var truthAt func(interval, tempC float64) *reaper.FailureSet
+	var truthAt func(interval, tempC float64) (*reaper.FailureSet, error)
 	if *chips > 1 {
 		mod, err := reaper.NewModule(*chips, cfg)
 		if err != nil {
-			log.Fatal(err)
+			log.Println(err)
+			return 2
 		}
 		mod.SetWorkers(*workers)
+		mod.SetTelemetry(reg)
 		fmt.Printf("module: %d chips x %v, vendor %s\n",
 			mod.Chips(), mod.Device(0).Geometry(), vendor.Name)
 		st = mod
-		truthAt = func(interval, tempC float64) *reaper.FailureSet {
-			set, err := mod.Truth(interval, tempC)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return set
-		}
+		truthAt = mod.Truth
 	} else {
 		station, err := reaper.NewStation(cfg)
 		if err != nil {
-			log.Fatal(err)
+			log.Println(err)
+			return 2
 		}
 		fmt.Printf("chip: %v, vendor %s, %d modelled weak cells\n",
 			station.Device().Geometry(), vendor.Name, station.Device().WeakCellCount())
 		st = station
-		truthAt = func(interval, tempC float64) *reaper.FailureSet {
-			return reaper.Truth(station, interval, tempC)
+		truthAt = func(interval, tempC float64) (*reaper.FailureSet, error) {
+			return reaper.Truth(station, interval, tempC), nil
 		}
 	}
 
@@ -104,12 +151,22 @@ func main() {
 		mode, target*1000, st.Ambient(),
 		(target+reach.DeltaInterval)*1000, st.Ambient()+reach.DeltaTempC, *iterations)
 
-	res, err := reaper.Profile(st, target, reach,
-		reaper.Options{Iterations: *iterations, FreshRandomPerIteration: true, Seed: *seed})
+	res, err := reaper.Profile(st, target, reach, reaper.Options{
+		Iterations:              *iterations,
+		FreshRandomPerIteration: true,
+		Seed:                    *seed,
+		Telemetry:               reg,
+		Tracer:                  tracer,
+	})
 	if err != nil {
-		log.Fatal(err)
+		log.Println(err)
+		return 2
 	}
-	truth := truthAt(target, reaper.RefTempC)
+	truth, err := truthAt(target, reaper.RefTempC)
+	if err != nil {
+		log.Println(err)
+		return 2
+	}
 	cov := reaper.Coverage(res.Failures, truth)
 	fpr := reaper.FalsePositiveRate(res.Failures, truth)
 	fmt.Printf("found %d failing cells (ground truth %d): coverage %.4f, FPR %.3f\n",
@@ -136,4 +193,51 @@ func main() {
 	} else {
 		fmt.Printf("projected 2GB-module profile longevity (SECDED, UBER 1e-15): %.1f hours before reprofiling\n", d.Hours())
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			log.Println(err)
+			return 2
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			log.Println(err)
+			return 2
+		}
+	}
+	if *heapprofile != "" {
+		if err := telemetry.WriteHeapProfile(*heapprofile); err != nil {
+			log.Println(err)
+			return 2
+		}
+	}
+	return 0
+}
+
+// writeMetrics serializes the registry snapshot to path.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = reg.Snapshot().WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeTrace serializes the tracer's events to path as JSONL, stamped with
+// the profiler source.
+func writeTrace(path string, tracer *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = telemetry.WriteJSONL(f, telemetry.Merge(telemetry.Trace{Source: "profiler", Events: tracer.Events()}))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	reaperlint [-rules list] [-v] [packages...]
+//	reaperlint [-rules list] [-md] [-v] [packages...]
 //
 // Package patterns are module-relative directories; "./..." (the default)
 // scans the whole module. Test files and testdata are excluded: the rules
-// govern shipped simulator code.
+// govern shipped simulator code. -md additionally verifies that every
+// relative link in the module's markdown docs resolves to a real file.
 //
 // Findings print as
 //
@@ -32,14 +33,15 @@ import (
 
 func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	md := flag.Bool("md", false, "also check relative links in the module's markdown docs")
 	verbose := flag.Bool("v", false, "list every suppression with its justification")
 	flag.Parse()
 
-	status := run(*rules, *verbose, flag.Args())
+	status := run(*rules, *md, *verbose, flag.Args())
 	os.Exit(status)
 }
 
-func run(rules string, verbose bool, patterns []string) int {
+func run(rules string, md, verbose bool, patterns []string) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reaperlint:", err)
@@ -88,6 +90,14 @@ func run(rules string, verbose bool, patterns []string) int {
 	}
 
 	res := lint.Run(pkgs, analyzers)
+	if md {
+		mdFindings, err := lint.CheckMarkdownLinks(loader.Root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reaperlint:", err)
+			return 2
+		}
+		res.Findings = append(res.Findings, mdFindings...)
+	}
 	for _, f := range res.Findings {
 		fmt.Println(rel(loader.Root, f))
 	}

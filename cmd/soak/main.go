@@ -11,6 +11,14 @@
 //	soak [-chips N] [-hours H] [-window H] [-seed S] [-workers N]
 //	     [-target ms] [-max-uber F] [-baseline] [-quick]
 //	     [-scenario default|quiet|harsh] [-out file.json]
+//	     [-metrics-out file.json] [-trace-out file.jsonl]
+//	     [-pprof-addr host:port] [-cpuprofile file] [-heapprofile file]
+//
+// -metrics-out and -trace-out opt the campaign into the deterministic
+// telemetry layer (see OBSERVABILITY.md): the metrics snapshot is
+// byte-identical at any -workers count for a fixed seed. -pprof-addr,
+// -cpuprofile, and -heapprofile observe the host process, not the
+// simulation.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"reaper/internal/experiments"
 	"reaper/internal/faultinject"
 	"reaper/internal/parallel"
+	"reaper/internal/telemetry"
 )
 
 // scenarios names the fault-injection presets -scenario accepts. Each entry
@@ -68,7 +77,11 @@ func scenarioNames() string {
 	return strings.Join(names, ", ")
 }
 
-func main() {
+// main delegates to run so deferred cleanups (CPU profile stop, pprof
+// server shutdown) execute before the process exits with a status code.
+func main() { os.Exit(run()) }
+
+func run() int {
 	chips := flag.Int("chips", 4, "fleet size")
 	hours := flag.Float64("hours", 14*24, "soak horizon, simulated hours")
 	window := flag.Float64("window", 1, "scrub window, hours")
@@ -82,16 +95,47 @@ func main() {
 	scenario := flag.String("scenario", "default",
 		"named fault scenario: "+scenarioNames())
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics snapshot (JSON) to this file")
+	traceOut := flag.String("trace-out", "", "write the merged trace timeline (JSONL) to this file")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the host process to this file")
+	heapprofile := flag.String("heapprofile", "", "write a heap profile of the host process to this file")
 	flag.Parse()
 
 	if *workers < 1 {
 		log.Printf("soak: -workers must be >= 1 (got %d)", *workers)
-		os.Exit(2)
+		return 2
 	}
 	mkScenario, ok := scenarios[*scenario]
 	if !ok {
 		log.Printf("soak: unknown scenario %q; valid scenarios: %s", *scenario, scenarioNames())
-		os.Exit(2)
+		return 2
+	}
+
+	var reg *telemetry.Registry
+	if *metricsOut != "" || *traceOut != "" || *pprofAddr != "" {
+		reg = telemetry.New()
+	}
+	if *pprofAddr != "" {
+		srv, err := telemetry.StartServer(*pprofAddr, reg)
+		if err != nil {
+			log.Println(err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "soak: pprof and /metrics on http://%s\n", srv.Addr())
+	}
+	if *cpuprofile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			log.Println(err)
+			return 2
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Println(err)
+			}
+		}()
 	}
 
 	cfg := experiments.DefaultSoakConfig(*seed)
@@ -105,6 +149,7 @@ func main() {
 	// The seed split matches the harness's own default-scenario derivation,
 	// so -scenario default is bit-identical to omitting the flag.
 	cfg.Scenario = mkScenario(*seed^0xFA177, cfg.TargetInterval)
+	cfg.Telemetry = reg
 	if *quick {
 		cfg.Chips = 2
 		cfg.Hours = 48
@@ -113,7 +158,7 @@ func main() {
 	rep, err := experiments.Soak(context.Background(), cfg)
 	if err != nil {
 		log.Println(err)
-		os.Exit(2)
+		return 2
 	}
 
 	controller := "resilience controller ON"
@@ -139,18 +184,51 @@ func main() {
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Println(err)
-		os.Exit(2)
+		return 2
 	}
 	enc = append(enc, '\n')
 	if *out != "" {
 		if err := os.WriteFile(*out, enc, 0o644); err != nil {
 			log.Println(err)
-			os.Exit(2)
+			return 2
 		}
 	} else {
 		os.Stdout.Write(enc)
 	}
-	if !rep.Survived {
-		os.Exit(1)
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = rep.Telemetry.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			log.Println(err)
+			return 2
+		}
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = telemetry.WriteJSONL(f, rep.TraceEvents)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			log.Println(err)
+			return 2
+		}
+	}
+	if *heapprofile != "" {
+		if err := telemetry.WriteHeapProfile(*heapprofile); err != nil {
+			log.Println(err)
+			return 2
+		}
+	}
+	if !rep.Survived {
+		return 1
+	}
+	return 0
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"reaper/internal/dram"
 	"reaper/internal/memctrl"
 	"reaper/internal/patterns"
+	"reaper/internal/telemetry"
 )
 
 // TestStation is the hardware interface profiling needs: the SoftMC-style
@@ -51,6 +53,18 @@ type Options struct {
 	// cumulative result so far; returning false stops profiling early.
 	// Used by the tradeoff explorer to stop at a coverage goal.
 	OnIteration func(r *Result) bool
+
+	// Telemetry, when non-nil, receives the core_profiling_* metrics (round
+	// and pass counters, new-failures-per-pass distribution, simulated
+	// seconds). All writes are commutative, so sharing one registry across
+	// concurrent runs is safe and deterministic.
+	Telemetry *telemetry.Registry
+
+	// Tracer, when non-nil, receives round-start / iteration / round-end
+	// trace events stamped with the station's simulated clock. A tracer is
+	// single-owner: never share one across concurrent profiling runs (the
+	// tradeoff explorer strips it for exactly that reason).
+	Tracer *telemetry.Tracer
 }
 
 func (o *Options) fill() {
@@ -115,6 +129,13 @@ func BruteForce(st TestStation, tREFI float64, opt Options) (*Result, error) {
 	}
 	before := st.Stats()
 
+	reg := opt.Telemetry
+	reg.Counter("core_profiling_rounds_total").Inc()
+	newPerPass := reg.Histogram("core_profiling_new_failures_per_pass", newFailureBounds)
+	opt.Tracer.Emit(st.Clock(), "round-start",
+		fmt.Sprintf("interval=%gs temp=%gC iterations=%d patterns=%d",
+			tREFI, st.Ambient(), opt.Iterations, len(opt.Patterns)))
+
 	for it := 1; it <= opt.Iterations; it++ {
 		ps := opt.Patterns
 		if opt.FreshRandomPerIteration {
@@ -127,6 +148,8 @@ func BruteForce(st TestStation, tREFI float64, opt Options) (*Result, error) {
 			st.EnableRefresh()
 			fails := st.ReadCompare()
 			added := res.Failures.AddAll(fails)
+			reg.Counter("core_profiling_passes_total", telemetry.L("pattern", patternLabel(p.Name()))).Inc()
+			newPerPass.Observe(float64(added))
 			res.Records = append(res.Records, IterationRecord{
 				Iteration:    it,
 				PatternName:  p.Name(),
@@ -136,12 +159,36 @@ func BruteForce(st TestStation, tREFI float64, opt Options) (*Result, error) {
 			})
 		}
 		res.Iterations = it
+		opt.Tracer.Emit(st.Clock(), "iteration",
+			fmt.Sprintf("iter=%d unique_failures=%d", it, res.Failures.Len()))
 		if opt.OnIteration != nil && !opt.OnIteration(res) {
 			break
 		}
 	}
 	res.Stats = diffStats(st.Stats(), before)
+	reg.Histogram("core_profiling_round_seconds", roundSecondsBounds).Observe(res.RuntimeSeconds())
+	opt.Tracer.Emit(st.Clock(), "round-end",
+		fmt.Sprintf("iterations=%d unique_failures=%d sim_seconds=%.3f",
+			res.Iterations, res.Failures.Len(), res.RuntimeSeconds()))
 	return res, nil
+}
+
+// Histogram bounds for the profiling metrics: new failures discovered per
+// pass (geometric, zero-heavy once a profile converges) and simulated
+// seconds per round.
+var (
+	newFailureBounds   = []float64{0, 1, 4, 16, 64, 256, 1024}
+	roundSecondsBounds = []float64{1, 10, 60, 600, 3600, 36000}
+)
+
+// patternLabel collapses a parameterized pattern name — random(0x…), or its
+// inverse — to its family, so the per-pattern pass counter keeps a bounded
+// label set instead of one series per random seed.
+func patternLabel(name string) string {
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // refreshRandoms replaces every random pattern (and inverted random) with a

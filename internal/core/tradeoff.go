@@ -6,6 +6,7 @@ import (
 
 	"reaper/internal/memctrl"
 	"reaper/internal/parallel"
+	"reaper/internal/telemetry"
 )
 
 // TradeoffConfig drives the reach-condition exploration of the paper's
@@ -183,8 +184,26 @@ func ExploreTradeoffs(ctx context.Context, mkStation func() (*memctrl.Station, e
 			points[i].RuntimeRelative = points[i].RuntimeSeconds / bruteRuntime
 		}
 	}
+
+	// Grid-level telemetry is recorded here, sequentially over the ordered
+	// result slice, so the snapshot is identical at any worker count.
+	if reg := telemetry.FromContext(ctx); reg != nil {
+		covHist := reg.Histogram("core_tradeoff_coverage", unitFractionBounds)
+		fprHist := reg.Histogram("core_tradeoff_false_positive_rate", unitFractionBounds)
+		for _, pt := range points {
+			reg.Counter("core_tradeoff_points_total").Inc()
+			if pt.ReachedGoal {
+				reg.Counter("core_tradeoff_goal_reached_total").Inc()
+			}
+			covHist.Observe(pt.Coverage)
+			fprHist.Observe(pt.FalsePositiveRate)
+		}
+	}
 	return points, nil
 }
+
+// unitFractionBounds buckets coverage and false-positive-rate observations.
+var unitFractionBounds = []float64{0.5, 0.8, 0.9, 0.95, 0.99, 1}
 
 func measurePoint(st *memctrl.Station, cfg TradeoffConfig, reference *FailureSet, reach ReachConditions) (TradeoffPoint, error) {
 	if st.Ambient() != cfg.TargetTempC {
@@ -199,6 +218,10 @@ func measurePoint(st *memctrl.Station, cfg TradeoffConfig, reference *FailureSet
 	opt := cfg.Options
 	opt.fill()
 	opt.Iterations = cfg.MaxIterations
+	// Grid points run concurrently; a tracer is single-owner, so profiling
+	// trace events are dropped here (the commutative Telemetry counters are
+	// kept — they aggregate identically at any worker count).
+	opt.Tracer = nil
 	var runtimeStart float64
 	sampled := false
 	opt.OnIteration = func(r *Result) bool {

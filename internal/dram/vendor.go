@@ -108,6 +108,7 @@ func VendorA() VendorParams {
 	}
 }
 
+// VendorB is the paper's representative-chip vendor profile.
 func VendorB() VendorParams {
 	return VendorParams{
 		Name:                "B",
@@ -125,6 +126,7 @@ func VendorB() VendorParams {
 	}
 }
 
+// VendorC is the most temperature-sensitive of the calibrated profiles.
 func VendorC() VendorParams {
 	return VendorParams{
 		Name:                "C",

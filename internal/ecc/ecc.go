@@ -131,6 +131,7 @@ const (
 	DoubleError
 )
 
+// String names the decode status for logs and reports.
 func (s DecodeStatus) String() string {
 	switch s {
 	case Clean:

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"strconv"
 
 	"reaper/internal/core"
 	"reaper/internal/dram"
@@ -24,6 +25,7 @@ import (
 	"reaper/internal/parallel"
 	"reaper/internal/rng"
 	"reaper/internal/scrub"
+	"reaper/internal/telemetry"
 )
 
 // SoakConfig configures a fleet soak campaign.
@@ -63,6 +65,16 @@ type SoakConfig struct {
 	SpareFraction float64 `json:"spare_fraction"`
 	// ResidentWords caps the resident data set per chip. Defaults to 96.
 	ResidentWords int `json:"resident_words"`
+	// Telemetry, when non-nil, instruments the campaign: every chip's
+	// firmware manager, fault injector, and scrubber record into it, each
+	// chip gets its own trace ring, and the final report embeds the
+	// registry snapshot plus the merged fleet timeline. The snapshot is
+	// byte-identical at any worker count (see internal/telemetry). Nil
+	// (the default) leaves the report exactly as before.
+	Telemetry *telemetry.Registry `json:"-"`
+	// TraceCapacity sizes each chip's trace ring when Telemetry is set.
+	// Defaults to telemetry.DefaultTraceCapacity.
+	TraceCapacity int `json:"-"`
 }
 
 // DefaultSoakConfig is the standard two-week fleet soak at 1024 ms under
@@ -160,6 +172,13 @@ type SoakReport struct {
 	MeanExtendedFraction float64 `json:"mean_extended_fraction"`
 
 	ChipReports []ChipSoakReport `json:"chip_reports"`
+
+	// Telemetry and TraceEvents are present only when SoakConfig.Telemetry
+	// was set: the final metrics snapshot and the fleet trace timeline,
+	// merged across chips in (clock, source, seq) order. Both serialize
+	// with omitempty so uninstrumented reports are unchanged byte for byte.
+	Telemetry   *telemetry.Snapshot `json:"telemetry,omitempty"`
+	TraceEvents []telemetry.Event   `json:"trace_events,omitempty"`
 }
 
 // Soak runs the campaign. Chips run concurrently on a worker pool; each
@@ -175,12 +194,17 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	for i := range seeds {
 		seeds[i] = root.Split(uint64(i) + 1).Uint64()
 	}
-	chips, err := parallel.Map(ctx, cfg.Chips, cfg.Workers,
-		func(ctx context.Context, i int) (ChipSoakReport, error) {
+	ctx = telemetry.WithRegistry(ctx, cfg.Telemetry)
+	results, err := parallel.Map(ctx, cfg.Chips, cfg.Workers,
+		func(ctx context.Context, i int) (chipSoakResult, error) {
 			return soakChip(ctx, cfg, i, seeds[i])
 		})
 	if err != nil {
 		return nil, err
+	}
+	chips := make([]ChipSoakReport, len(results))
+	for i, r := range results {
+		chips[i] = r.rep
 	}
 	rep := &SoakReport{
 		Chips:          cfg.Chips,
@@ -200,14 +224,39 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		rep.TotalViolationWindow += c.ViolationWindows
 		rep.MeanExtendedFraction += c.ExtendedFraction / float64(cfg.Chips)
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		// Campaign-level series are written here, sequentially, after the
+		// fleet joins — single-writer gauges, so no chip labels needed.
+		reg.Counter("soak_chips_total").Add(int64(cfg.Chips))
+		for _, c := range chips {
+			if c.Survived {
+				reg.Counter("soak_chips_survived_total").Inc()
+			}
+		}
+		reg.Gauge("soak_worst_uber").Set(rep.WorstUBER)
+		reg.Gauge("soak_mean_extended_fraction").Set(rep.MeanExtendedFraction)
+		rep.Telemetry = reg.Snapshot()
+		traces := make([]telemetry.Trace, len(results))
+		for i, r := range results {
+			traces[i] = telemetry.Trace{Source: "chip" + strconv.Itoa(i), Events: r.trace}
+		}
+		rep.TraceEvents = telemetry.Merge(traces...)
+	}
 	return rep, nil
 }
 
+// chipSoakResult carries one chip's report plus its trace ring contents
+// (nil when the campaign is uninstrumented) back from the worker pool.
+type chipSoakResult struct {
+	rep   ChipSoakReport
+	trace []telemetry.Event
+}
+
 // soakChip runs one chip's full campaign.
-func soakChip(ctx context.Context, cfg SoakConfig, idx int, seed uint64) (ChipSoakReport, error) {
+func soakChip(ctx context.Context, cfg SoakConfig, idx int, seed uint64) (chipSoakResult, error) {
 	rep := ChipSoakReport{Chip: idx, Seed: seed}
-	fail := func(err error) (ChipSoakReport, error) {
-		return rep, fmt.Errorf("soak chip %d: %w", idx, err)
+	fail := func(err error) (chipSoakResult, error) {
+		return chipSoakResult{rep: rep}, fmt.Errorf("soak chip %d: %w", idx, err)
 	}
 
 	spec := cfg.Chip
@@ -268,6 +317,23 @@ func soakChip(ctx context.Context, cfg SoakConfig, idx int, seed uint64) (ChipSo
 	if err != nil {
 		return fail(err)
 	}
+
+	// Instrument the chip's components: counters aggregate commutatively
+	// across the fleet, gauges carry the chip label, and the chip owns its
+	// trace ring outright (merged into the fleet timeline by Soak).
+	var tracer *telemetry.Tracer
+	if reg := cfg.Telemetry; reg != nil {
+		capacity := cfg.TraceCapacity
+		if capacity <= 0 {
+			capacity = telemetry.DefaultTraceCapacity
+		}
+		tracer = telemetry.NewTracer(capacity)
+		chipLabel := telemetry.L("chip", strconv.Itoa(idx))
+		mgr.Instrument(reg, tracer, chipLabel)
+		inj.Instrument(reg, tracer, chipLabel)
+		scr.Instrument(reg, tracer, chipLabel)
+	}
+
 	if err := writeResident(); err != nil {
 		return fail(err)
 	}
@@ -333,7 +399,7 @@ func soakChip(ctx context.Context, cfg SoakConfig, idx int, seed uint64) (ChipSo
 			rep.RecoverEvents++
 		}
 	}
-	return rep, nil
+	return chipSoakResult{rep: rep, trace: tracer.Events()}, nil
 }
 
 // selectResidentWords picks the resident data set: the words whose contents

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"reaper/internal/telemetry"
+)
+
+// telemetrySoak runs the pinned telemetry campaign (seed 1, two chips, one
+// simulated day) with a fresh registry and returns the report.
+func telemetrySoak(t *testing.T, workers int) *SoakReport {
+	t.Helper()
+	cfg := DefaultSoakConfig(1)
+	cfg.Chips = 2
+	cfg.Hours = 24
+	cfg.Workers = workers
+	cfg.Telemetry = telemetry.New()
+	rep, err := Soak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// snapshotJSON serializes a report's embedded telemetry snapshot.
+func snapshotJSON(t *testing.T, rep *SoakReport) []byte {
+	t.Helper()
+	if rep.Telemetry == nil {
+		t.Fatal("instrumented soak produced no telemetry snapshot")
+	}
+	var buf bytes.Buffer
+	if err := rep.Telemetry.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSoakTelemetryDeterministicAcrossWorkers is the tentpole's determinism
+// guarantee: the metrics snapshot and the merged trace timeline of an
+// instrumented soak are byte-identical between sequential and 8-way
+// concurrent execution, and the snapshot is pinned against a golden file so
+// any drift in the registered series shows up as a diff. Regenerate
+// intentionally with: go test ./internal/experiments/ -run Telemetry -update
+func TestSoakTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	seq := telemetrySoak(t, 1)
+	par := telemetrySoak(t, 8)
+
+	seqSnap, parSnap := snapshotJSON(t, seq), snapshotJSON(t, par)
+	if !bytes.Equal(seqSnap, parSnap) {
+		t.Fatalf("telemetry snapshot differs between workers=1 and workers=8:\n--- workers=1\n%s\n--- workers=8\n%s",
+			seqSnap, parSnap)
+	}
+
+	var seqTrace, parTrace bytes.Buffer
+	if err := telemetry.WriteJSONL(&seqTrace, seq.TraceEvents); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteJSONL(&parTrace, par.TraceEvents); err != nil {
+		t.Fatal(err)
+	}
+	if seqTrace.String() != parTrace.String() {
+		t.Fatal("merged trace timeline differs between workers=1 and workers=8")
+	}
+	if len(seq.TraceEvents) == 0 {
+		t.Fatal("instrumented soak emitted no trace events")
+	}
+
+	golden := filepath.Join("testdata", "soak_telemetry_seed1.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, seqSnap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(seqSnap, want) {
+		t.Fatalf("telemetry snapshot drifted from golden %s (regenerate with -update if intentional):\n%s",
+			golden, seqSnap)
+	}
+}
+
+// TestSoakUninstrumentedReportUnchanged pins the opt-in contract: with no
+// registry configured the report carries no telemetry section at all, so
+// pre-existing golden reports stay byte-identical.
+func TestSoakUninstrumentedReportUnchanged(t *testing.T) {
+	cfg := DefaultSoakConfig(1)
+	cfg.Chips = 1
+	cfg.Hours = 6
+	rep, err := Soak(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Telemetry != nil || rep.TraceEvents != nil {
+		t.Fatal("uninstrumented soak emitted telemetry")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"reaper/internal/memctrl"
 	"reaper/internal/mitigate"
 	"reaper/internal/rng"
+	"reaper/internal/telemetry"
 	"reaper/internal/thermal"
 )
 
@@ -160,6 +161,11 @@ type Injector struct {
 
 	events []Event
 	counts map[string]int
+
+	// Telemetry (see Instrument); nil on an uninstrumented injector.
+	tele       *telemetry.Registry
+	tracer     *telemetry.Tracer
+	teleLabels []telemetry.Label
 }
 
 // New builds an injector for a station operating at targetInterval. The
@@ -219,6 +225,19 @@ func (inj *Injector) schedule(ch int, now, meanSeconds float64) float64 {
 // land in its reserved segment and the spare-drain channel can consume it.
 func (inj *Injector) AttachShield(sh *mitigate.ArchShield) { inj.shield = sh }
 
+// Instrument attaches a telemetry registry and (optionally) a tracer: every
+// injected fault increments faultinject_events_total{channel} (and
+// faultinject_cells_injected_total{channel} when cells were touched) and is
+// mirrored into the trace ring as a "fault-injection" event. Counters are
+// commutative across injectors sharing a registry; a tracer is single-owner
+// (one per injector). The labels are stamped on trace events only — e.g.
+// chip=3 in a fleet soak.
+func (inj *Injector) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer, labels ...telemetry.Label) {
+	inj.tele = reg
+	inj.tracer = tracer
+	inj.teleLabels = labels
+}
+
 // Events returns a copy of the injected-fault log.
 func (inj *Injector) Events() []Event {
 	out := make([]Event, len(inj.events))
@@ -243,6 +262,11 @@ func (inj *Injector) log(kind, detail string, cells int) {
 		Detail:     detail,
 		Cells:      cells,
 	})
+	inj.tele.Counter("faultinject_events_total", telemetry.L("channel", kind)).Inc()
+	if cells > 0 {
+		inj.tele.Counter("faultinject_cells_injected_total", telemetry.L("channel", kind)).Add(int64(cells))
+	}
+	inj.tracer.Emit(inj.st.Clock(), "fault-injection", kind+": "+detail, inj.teleLabels...)
 }
 
 // RoundGate returns a hook for firmware.Config.PreRound: each call aborts

@@ -27,6 +27,7 @@ import (
 	"reaper/internal/dram"
 	"reaper/internal/longevity"
 	"reaper/internal/memctrl"
+	"reaper/internal/telemetry"
 )
 
 // memctrlPass returns the station's full-device pass time.
@@ -126,6 +127,15 @@ type Manager struct {
 	// Extended-interval time accounting.
 	intervalSince float64
 	extendedAccum float64
+
+	// Telemetry (see Instrument). All fields stay nil on an uninstrumented
+	// manager; nil handles are no-ops.
+	tele       *telemetry.Registry
+	tracer     *telemetry.Tracer
+	teleLabels []telemetry.Label
+	cRounds    *telemetry.Counter
+	gDegrade   *telemetry.Gauge
+	gInterval  *telemetry.Gauge
 }
 
 // New builds a manager and computes its cadence.
@@ -177,6 +187,32 @@ func New(st *memctrl.Station, cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// Instrument attaches a telemetry registry and (optionally) a per-manager
+// tracer. Counters aggregate commutatively across all instrumented managers
+// sharing the registry; the degrade-level and operating-interval gauges are
+// last-write-wins, so callers running several managers concurrently must
+// pass distinguishing labels (e.g. chip=3) — that makes each gauge series
+// single-writer. The registry and tracer are also threaded into the
+// profiling options, so each round's core_profiling_* metrics and trace
+// events are recorded too. Call before the first Tick.
+func (m *Manager) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer, labels ...telemetry.Label) {
+	m.tele = reg
+	m.tracer = tracer
+	m.teleLabels = labels
+	m.cRounds = reg.Counter("firmware_rounds_total")
+	m.gDegrade = reg.Gauge("firmware_degrade_level", labels...)
+	m.gInterval = reg.Gauge("firmware_interval_ms", labels...)
+	m.prof.Telemetry = reg
+	m.prof.Tracer = tracer
+	m.updateGauges()
+}
+
+// updateGauges publishes the operating point after any transition.
+func (m *Manager) updateGauges() {
+	m.gDegrade.Set(float64(m.degradeLevel))
+	m.gInterval.Set(m.currentInterval() * 1000)
 }
 
 // CadenceHours returns the reprofiling period in hours.
@@ -268,13 +304,18 @@ func (m *Manager) Tick(ctx context.Context) (bool, error) {
 	m.profilingSeconds += res.RuntimeSeconds()
 	m.rounds++
 	m.lastRoundEnd = m.st.Clock()
+	m.cRounds.Inc()
 	if m.earlyPending {
 		m.earlyPending = false
 		m.earlyRounds++
+		m.tele.Counter("firmware_early_rounds_total").Inc()
 	}
+	m.tracer.Emit(m.st.Clock(), "profiling-round",
+		fmt.Sprintf("round=%d profile_cells=%d", m.rounds, m.profile.Len()), m.teleLabels...)
 
 	// Resume operation at the current (possibly degraded) interval.
 	m.st.SetRefreshInterval(m.currentInterval())
+	m.updateGauges()
 	if m.cfg.Install != nil && !m.sparesExhausted {
 		if err := m.cfg.Install(m.profile); err != nil {
 			if !m.res.Enabled {

@@ -3,6 +3,8 @@ package firmware
 import (
 	"fmt"
 	"math"
+
+	"reaper/internal/telemetry"
 )
 
 // ResilienceConfig tunes the closed-loop resilience controller. The
@@ -79,6 +81,9 @@ type Telemetry struct {
 // EventKind classifies resilience controller actions.
 type EventKind string
 
+// The controller's action vocabulary: schedule tightening, reach widening,
+// interval fallback and recovery, aborted profiling rounds, and spare-row
+// exhaustion.
 const (
 	EventEarlyReprofile  EventKind = "early-reprofile"
 	EventWiden           EventKind = "widen-reach"
@@ -182,15 +187,20 @@ func (m *Manager) setDegradeLevel(level int) {
 	m.intervalSince = now
 	m.degradeLevel = level
 	m.st.SetRefreshInterval(m.currentInterval())
+	m.updateGauges()
 }
 
-// event appends a controller event stamped with the station clock.
+// event appends a controller event stamped with the station clock, and
+// mirrors it to the telemetry registry (as firmware_events_total{kind}) and
+// trace ring when the manager is instrumented.
 func (m *Manager) event(kind EventKind, detail string) {
 	m.events = append(m.events, Event{
 		ClockHours: (m.st.Clock() - m.startClock) / 3600,
 		Kind:       kind,
 		Detail:     detail,
 	})
+	m.tele.Counter("firmware_events_total", telemetry.L("kind", string(kind))).Inc()
+	m.tracer.Emit(m.st.Clock(), string(kind), detail, m.teleLabels...)
 }
 
 // ReportScrub feeds one scrub window's telemetry to the resilience
@@ -202,6 +212,9 @@ func (m *Manager) ReportScrub(t Telemetry) {
 	}
 	m.windows++
 	clean := t.Uncorrectable == 0 && t.Corrected <= m.res.CorrectableBudget
+	m.tele.Counter("firmware_scrub_windows_total", telemetry.L("clean", fmt.Sprintf("%t", clean))).Inc()
+	m.tele.Counter("firmware_scrub_corrected_total").Add(int64(t.Corrected))
+	m.tele.Counter("firmware_scrub_uncorrectable_total").Add(int64(t.Uncorrectable))
 	if clean {
 		m.escapeStreak = 0
 		m.cleanWindows++

@@ -16,6 +16,7 @@ func Analyzers() []*Analyzer {
 		NoPanic,
 		NakedGoroutine,
 		CtxFirst,
+		ExportedDoc,
 	}
 }
 

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExportedDoc requires that library packages document their API surface: a
+// package doc comment on at least one file, and a doc comment on every
+// exported top-level identifier — functions, methods on exported receiver
+// types, type declarations, and exported const/var names. For grouped
+// declarations the group's doc comment suffices, matching godoc's
+// association rules; trailing line comments do not count. Commands (package
+// main) document themselves through their command doc and -h output and are
+// exempt.
+var ExportedDoc = &Analyzer{
+	Name: "exported-doc",
+	Doc:  "require package docs and doc comments on exported identifiers in library packages",
+	Run: func(p *Package, report func(ast.Node, string, ...any)) {
+		if p.IsMain() {
+			return
+		}
+		hasPkgDoc := false
+		for _, f := range p.Files {
+			if docText(f.Doc) {
+				hasPkgDoc = true
+				break
+			}
+		}
+		if !hasPkgDoc && len(p.Files) > 0 {
+			report(p.Files[0].Name, "package %s has no package doc comment", p.Pkg.Name())
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || docText(d.Doc) {
+						continue
+					}
+					if recv, isMethod := receiverName(d); isMethod {
+						if !ast.IsExported(recv) {
+							continue // method of an unexported type: not API surface
+						}
+						report(d.Name, "exported method %s.%s is missing a doc comment", recv, d.Name.Name)
+					} else {
+						report(d.Name, "exported function %s is missing a doc comment", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					groupDoc := docText(d.Doc)
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !groupDoc && !docText(s.Doc) {
+								report(s.Name, "exported type %s is missing a doc comment", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							documented := groupDoc || docText(s.Doc)
+							for _, name := range s.Names {
+								if name.IsExported() && !documented {
+									report(name, "exported %s %s is missing a doc comment", d.Tok, name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	},
+}
+
+// docText reports whether a comment group carries actual documentation text.
+func docText(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.TrimSpace(cg.Text()) != ""
+}
+
+// receiverName resolves the base type name of a method receiver, stripping
+// pointers and type parameters.
+func receiverName(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name, true
+		default:
+			return "", true
+		}
+	}
+}

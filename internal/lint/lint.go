@@ -46,6 +46,7 @@ type Finding struct {
 	Message string
 }
 
+// String formats the finding in the conventional file:line:col style.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
 }

@@ -106,6 +106,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"naked-goroutine/internal", "gofix", "reaper/internal/gofix", NakedGoroutine, true},
 		{"naked-goroutine/pool-allowed", "gofix", "reaper/internal/parallel", NakedGoroutine, false},
 		{"ctx-first", "ctxfix", "reaper/internal/ctxfix", CtxFirst, true},
+		{"exported-doc/library", "docfix", "reaper/internal/docfix", ExportedDoc, true},
+		{"exported-doc/main-allowed", "panicmain", "reaper/cmd/panicmain", ExportedDoc, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

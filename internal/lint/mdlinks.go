@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"bufio"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// mdLink matches inline markdown links and images: [text](target) with an
+// optional title. Reference-style links are out of scope — the repository's
+// docs use inline links only.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// CheckMarkdownLinks walks every .md file under root (skipping .git,
+// testdata, and vendor directories) and reports a finding for each relative
+// link whose target does not exist on disk. Absolute URLs (http, https,
+// mailto), pure fragments (#section), and absolute paths are ignored: the
+// rule guards the repo-internal cross-references that silently rot when
+// files move. Fenced code blocks are skipped so documentation may quote
+// link syntax.
+func CheckMarkdownLinks(root string) ([]Finding, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "vendor", "node_modules":
+				if path != root {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+
+	var findings []Finding
+	for _, path := range files {
+		found, err := checkMarkdownFile(path)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, found...)
+	}
+	return findings, nil
+}
+
+// checkMarkdownFile scans one markdown file for broken relative links.
+func checkMarkdownFile(path string) ([]Finding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var findings []Finding
+	inFence := false
+	lineNo := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatchIndex(line, -1) {
+			target := line[m[2]:m[3]]
+			if !relativeLink(target) {
+				continue
+			}
+			// Strip a #fragment; a bare-fragment link was already skipped.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				findings = append(findings, Finding{
+					Pos:     token.Position{Filename: path, Line: lineNo, Column: m[2] + 1},
+					Rule:    "md-links",
+					Message: "broken relative link: " + line[m[2]:m[3]],
+				})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return findings, nil
+}
+
+// relativeLink reports whether a link target is a repo-relative path this
+// checker should verify.
+func relativeLink(target string) bool {
+	switch {
+	case target == "",
+		strings.HasPrefix(target, "#"),
+		strings.HasPrefix(target, "/"),
+		strings.Contains(target, "://"),
+		strings.HasPrefix(target, "mailto:"):
+		return false
+	}
+	return true
+}

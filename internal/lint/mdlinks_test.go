@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckMarkdownLinks drives the checker over the fixture tree: exactly
+// the three broken relative links fire; good links, absolute URLs,
+// fragments, and fenced quotations do not.
+func TestCheckMarkdownLinks(t *testing.T) {
+	findings, err := CheckMarkdownLinks(filepath.Join("testdata", "md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := map[int]int{5: 2, 14: 1} // line → broken links on it
+	gotLines := map[int]int{}
+	for _, f := range findings {
+		if f.Rule != "md-links" {
+			t.Errorf("unexpected rule %q", f.Rule)
+		}
+		gotLines[f.Pos.Line]++
+	}
+	if len(findings) != 3 {
+		t.Errorf("want 3 findings, got %d: %v", len(findings), findings)
+	}
+	for line, n := range wantLines {
+		if gotLines[line] != n {
+			t.Errorf("line %d: want %d findings, got %d", line, n, gotLines[line])
+		}
+	}
+}
+
+// TestRepoMarkdownClean is the tier-1 hook for the docs themselves: every
+// relative link in the repository's markdown must resolve.
+func TestRepoMarkdownClean(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := CheckMarkdownLinks(l.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

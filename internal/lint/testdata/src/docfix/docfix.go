@@ -1,0 +1,37 @@
+package docfix // WANT exported-doc
+
+// Documented has a doc comment, so it is clean.
+type Documented struct{}
+
+// Get is documented.
+func (Documented) Get() int { return 0 }
+
+func (Documented) Bare() int { return 1 } // WANT exported-doc
+
+type Bare struct{} // WANT exported-doc
+
+// unexported types need no docs, and neither do their exported methods.
+type hidden struct{}
+
+func (hidden) Visible() int { return 2 }
+
+func Exported() {} // WANT exported-doc
+
+func unexported() {}
+
+// Grouped declarations are covered by the group doc.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const LoneConst = 3 // WANT exported-doc
+
+var (
+	LoneVar int // WANT exported-doc
+
+	// DocumentedVar carries its own spec doc inside an undocumented group.
+	DocumentedVar int
+)
+
+var _ = unexported

@@ -22,17 +22,20 @@ const (
 	CmdWritePass CmdKind = iota
 	// CmdReadPass is a whole-device read-and-compare pass.
 	CmdReadPass
-	// CmdWriteWord / CmdReadWord are single random accesses.
+	// CmdWriteWord is a single random write access.
 	CmdWriteWord
+	// CmdReadWord is a single random read access.
 	CmdReadWord
-	// CmdRefreshOn / CmdRefreshOff mark refresh-control transitions; the
-	// Interval field of CmdRefreshOn carries the new refresh interval.
+	// CmdRefreshOn marks a refresh-enable transition; its Interval field
+	// carries the new refresh interval.
 	CmdRefreshOn
+	// CmdRefreshOff marks a refresh-disable transition.
 	CmdRefreshOff
 	// CmdWait marks an idle/wait window; Interval carries its length.
 	CmdWait
 )
 
+// String names the command kind as it appears in rendered traces.
 func (k CmdKind) String() string {
 	switch k {
 	case CmdWritePass:

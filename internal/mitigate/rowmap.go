@@ -93,6 +93,8 @@ func (c *CellRemap) Redirect(bit uint64) (int, bool) {
 	return idx, ok
 }
 
-// Used and Capacity report spare usage.
-func (c *CellRemap) Used() int     { return len(c.remap) }
+// Used reports how many spares are consumed.
+func (c *CellRemap) Used() int { return len(c.remap) }
+
+// Capacity reports the total spare budget.
 func (c *CellRemap) Capacity() int { return c.spares }

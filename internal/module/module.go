@@ -14,6 +14,7 @@ import (
 	"reaper/internal/dram"
 	"reaper/internal/memctrl"
 	"reaper/internal/parallel"
+	"reaper/internal/telemetry"
 	"reaper/internal/thermal"
 )
 
@@ -42,6 +43,7 @@ type Module struct {
 	ambient float64
 	workers int
 	err     error
+	tele    *telemetry.Registry
 }
 
 // New builds a module over the devices. All devices must share a geometry.
@@ -81,6 +83,12 @@ func New(devs []*dram.Device, chamber *thermal.Chamber, timing memctrl.Timing) (
 // Each chip is a disjoint simulated device with its own RNG, so results are
 // identical at any worker count.
 func (m *Module) SetWorkers(n int) { m.workers = n }
+
+// SetTelemetry attaches a registry: each full-module write and read pass
+// records the module_* counters (passes, bytes moved, failing cells seen).
+// The counters are worker-count invariant — they count passes, never the
+// per-chip fan-out underneath them.
+func (m *Module) SetTelemetry(reg *telemetry.Registry) { m.tele = reg }
 
 // forEachChip runs fn over every device on the module's worker pool. The
 // per-chip simulations have no error path of their own; the returned error
@@ -230,6 +238,8 @@ func (m *Module) WritePattern(p dram.RowData) {
 	m.stats.WriteSeconds += d
 	m.stats.WritePasses++
 	m.stats.BytesWritten += m.TotalBytes()
+	m.tele.Counter("module_write_passes_total").Inc()
+	m.tele.Counter("module_bytes_written_total").Add(m.TotalBytes())
 }
 
 // Wait lets simulated time pass.
@@ -273,6 +283,9 @@ func (m *Module) ReadCompare() []uint64 {
 	m.stats.ReadSeconds += d
 	m.stats.ReadPasses++
 	m.stats.BytesRead += m.TotalBytes()
+	m.tele.Counter("module_read_passes_total").Inc()
+	m.tele.Counter("module_bytes_read_total").Add(m.TotalBytes())
+	m.tele.Counter("module_failing_cells_seen_total").Add(int64(len(fails)))
 	return fails
 }
 

@@ -18,6 +18,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"reaper/internal/telemetry"
 )
 
 // DefaultWorkers returns the worker count used when a caller passes a
@@ -45,9 +47,14 @@ type PanicError struct {
 	Stack []byte
 }
 
+// Error renders the recovered value and the worker's stack trace.
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("parallel: job panicked: %v\n%s", e.Value, e.Stack)
 }
+
+// batchJobBounds buckets the jobs-per-batch histogram: most campaigns fan
+// out over a handful of chips or a few hundred grid points.
+var batchJobBounds = []float64{1, 2, 4, 8, 16, 64, 256, 1024}
 
 // Map runs fn(ctx, i) for i in [0, n) on at most workers goroutines and
 // returns the results indexed by i — exactly what sequential execution
@@ -57,6 +64,12 @@ func (e *PanicError) Error() string {
 // to jobs is cancelled and Map returns the error from the lowest job index
 // that failed, so the reported error is deterministic too. Results computed
 // before cancellation are discarded.
+//
+// When ctx carries a telemetry.Registry, Map records batch and job counts.
+// Only worker-count-invariant series are recorded — jobs queued, batches
+// run, jobs completed on success — never goroutine or occupancy figures,
+// which would differ between workers=1 and workers=8 and break the repo's
+// snapshot determinism contract.
 func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -65,6 +78,24 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 		//lint:ignore ctx-first nil-ctx convenience default at the pool boundary, not a severed cancellation chain
 		ctx = context.Background()
 	}
+	reg := telemetry.FromContext(ctx)
+	reg.Counter("parallel_batches_total").Inc()
+	reg.Counter("parallel_jobs_queued_total").Add(int64(n))
+	reg.Histogram("parallel_batch_jobs", batchJobBounds).Observe(float64(n))
+	out, err := mapJobs(ctx, n, workers, fn)
+	if err != nil {
+		reg.Counter("parallel_batches_failed_total").Inc()
+		return nil, err
+	}
+	// Completed jobs are credited per batch, not per job: under cancellation
+	// the number of jobs that finished depends on scheduling, so a per-job
+	// increment would vary with worker count.
+	reg.Counter("parallel_jobs_completed_total").Add(int64(n))
+	return out, nil
+}
+
+// mapJobs is Map without the telemetry bookkeeping.
+func mapJobs[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	workers = clampWorkers(workers, n)
 	out := make([]T, n)
 	if workers == 1 {

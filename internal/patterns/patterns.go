@@ -29,8 +29,10 @@ func (s solid) Name() string {
 	return "solid1"
 }
 
-// Solid0 is all zeros; Solid1 is all ones.
+// Solid0 is the all-zeros data pattern.
 func Solid0() Pattern { return solid{0} }
+
+// Solid1 is the all-ones data pattern.
 func Solid1() Pattern { return solid{^uint64(0)} }
 
 type checker struct{}

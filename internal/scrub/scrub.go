@@ -20,6 +20,7 @@ import (
 	"reaper/internal/ecc"
 	"reaper/internal/memctrl"
 	"reaper/internal/mitigate"
+	"reaper/internal/telemetry"
 )
 
 // ECCMemory overlays SECDED(72,64) on a station: the 64 data bits live in
@@ -135,6 +136,11 @@ type Scrubber struct {
 	Rounds int
 	// history holds the per-pass reports, oldest first.
 	history []ScrubReport
+
+	// Telemetry (see Instrument); nil on an uninstrumented scrubber.
+	tele       *telemetry.Registry
+	tracer     *telemetry.Tracer
+	teleLabels []telemetry.Label
 }
 
 // NewScrubber builds a scrubber over an ECC memory.
@@ -143,6 +149,18 @@ func NewScrubber(mem *ECCMemory) (*Scrubber, error) {
 		return nil, fmt.Errorf("scrub: nil memory")
 	}
 	return &Scrubber{mem: mem, profile: core.NewFailureSet()}, nil
+}
+
+// Instrument attaches a telemetry registry and (optionally) a tracer: each
+// Scrub pass records scrub_passes_total, scrub_words_scanned_total,
+// scrub_corrected_total, and scrub_uncorrectable_total, and emits one
+// "scrub-pass" trace event stamped with the station clock. Counters are
+// commutative across scrubbers sharing a registry; a tracer is
+// single-owner. The labels are stamped on trace events (e.g. chip=3).
+func (s *Scrubber) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer, labels ...telemetry.Label) {
+	s.tele = reg
+	s.tracer = tracer
+	s.teleLabels = labels
 }
 
 // Scrub sweeps every written word once. Corrected words are rewritten with
@@ -173,6 +191,13 @@ func (s *Scrubber) Scrub() (ScrubReport, error) {
 	}
 	s.Rounds++
 	s.history = append(s.history, rep)
+	s.tele.Counter("scrub_passes_total").Inc()
+	s.tele.Counter("scrub_words_scanned_total").Add(int64(rep.WordsScanned))
+	s.tele.Counter("scrub_corrected_total").Add(int64(rep.Corrected))
+	s.tele.Counter("scrub_uncorrectable_total").Add(int64(rep.Uncorrectable))
+	s.tracer.Emit(s.mem.st.Clock(), "scrub-pass",
+		fmt.Sprintf("scanned=%d corrected=%d uncorrectable=%d",
+			rep.WordsScanned, rep.Corrected, rep.Uncorrectable), s.teleLabels...)
 	return rep, nil
 }
 

@@ -1,0 +1,26 @@
+package telemetry
+
+import "context"
+
+// ctxKey keys the registry in a context.
+type ctxKey struct{}
+
+// WithRegistry returns a context carrying the registry, for instrumentation
+// points (internal/parallel, the experiment harnesses) whose call chains
+// already thread a context and should not grow a telemetry parameter.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if ctx == nil || r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the registry carried by ctx, or nil (the no-op
+// registry) when none is attached.
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

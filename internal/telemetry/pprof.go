@@ -1,0 +1,90 @@
+package telemetry
+
+// Opt-in runtime profiling hooks for the command-line front-ends: an HTTP
+// server exposing net/http/pprof (plus the live metrics snapshot), and
+// one-call CPU/heap profile capture. None of this touches simulated state —
+// it observes the *host* process, which is exactly why it lives behind
+// flags (-pprof-addr, -cpuprofile, -heapprofile) instead of being wired
+// into experiments.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	runtimepprof "runtime/pprof"
+)
+
+// Server is a running diagnostics HTTP server (see StartServer).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (e.g. "localhost:6060"; ":0" picks a free
+// port) and serves the standard pprof endpoints under /debug/pprof/ plus,
+// when reg is non-nil, the registry's live snapshot as JSON under /metrics.
+// The server runs until Close; it uses its own mux, so importing this
+// package never pollutes http.DefaultServeMux.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			// Serving a snapshot is best-effort diagnostics; a write error
+			// here means the client hung up.
+			_ = reg.Snapshot().WriteJSON(w)
+		})
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	//lint:ignore naked-goroutine host-process diagnostics accept loop; nothing it serves flows back into simulated state
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the address the server is actually listening on (useful
+// with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// function that stops the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return func() error {
+		runtimepprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes the current heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	if err := runtimepprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	return f.Close()
+}

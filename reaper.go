@@ -89,15 +89,23 @@ type (
 	TestStation = core.TestStation
 )
 
-// Vendor profiles (paper Equation 1 and Section 5 calibration).
+// VendorA is calibrated vendor profile A (paper Equation 1, Section 5).
 func VendorA() VendorParams { return dram.VendorA() }
+
+// VendorB is calibrated vendor profile B, the paper's representative chip.
 func VendorB() VendorParams { return dram.VendorB() }
+
+// VendorC is calibrated vendor profile C, the most temperature-sensitive.
 func VendorC() VendorParams { return dram.VendorC() }
 
-// ECC strengths (paper Table 1).
-func NoECC() ECCCode  { return ecc.NoECC() }
+// NoECC is the no-correction baseline (paper Table 1).
+func NoECC() ECCCode { return ecc.NoECC() }
+
+// SECDED is single-error-correct double-error-detect ECC (paper Table 1).
 func SECDED() ECCCode { return ecc.SECDED() }
-func ECC2() ECCCode   { return ecc.ECC2() }
+
+// ECC2 is two-error-correcting ECC (paper Table 1).
+func ECC2() ECCCode { return ecc.ECC2() }
 
 // Standard UBER targets (paper Section 6.2.2).
 const (
@@ -245,8 +253,12 @@ func Truth(st *Station, targetInterval, targetTempC float64) *FailureSet {
 	return core.Truth(st, targetInterval, targetTempC)
 }
 
-// Coverage and FalsePositiveRate are the paper's profiling quality metrics.
+// Coverage is the fraction of true failures the profile found — the
+// paper's primary profiling quality metric.
 func Coverage(found, truth *FailureSet) float64 { return core.Coverage(found, truth) }
+
+// FalsePositiveRate is the fraction of profiled cells that are not true
+// failures at target conditions, the cost axis of the tradeoff figures.
 func FalsePositiveRate(found, truth *FailureSet) float64 {
 	return core.FalsePositiveRate(found, truth)
 }
