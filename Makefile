@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-parallel soak-quick lint lint-fixtures
+.PHONY: all build vet test race check bench bench-go bench-parallel soak-quick lint lint-fixtures
 
 all: check
 
@@ -39,7 +39,15 @@ lint-fixtures:
 
 check: build vet lint race soak-quick
 
+# bench regenerates BENCH_device.json: the device read-path microbenchmarks
+# (ReadCompareAll / RestoreAll) at three weak-cell densities, with the
+# pre-sparse-index seed numbers pinned alongside for comparison.
 bench:
+	$(GO) run ./cmd/benchdevice -out BENCH_device.json
+
+# bench-go runs every go-test benchmark once (compile/behavior smoke, not a
+# measurement).
+bench-go:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # bench-parallel regenerates BENCH_parallel.json: sequential vs parallel

@@ -1,0 +1,141 @@
+// Command benchdevice measures the device read-path microbenchmarks — the
+// innermost loop of every experiment in the repository — at three weak-cell
+// densities and writes a machine-readable baseline to BENCH_device.json
+// (same schema as BENCH_parallel.json; see internal/benchfmt). The densities
+// bracket the experiment harnesses: WeakScale 10 is a sparse research chip,
+// 30 is the standard bench density, 100 is a stress density where the active
+// band holds thousands of cells per pass.
+//
+// Usage:
+//
+//	benchdevice [-out BENCH_device.json] [-quick]
+//
+// -quick runs every benchmark body once instead of until steady state; CI
+// uses it as a non-gating smoke check that the hot paths still execute and
+// the baseline still marshals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"reaper/internal/benchfmt"
+	"reaper/internal/dram"
+	"reaper/internal/patterns"
+)
+
+// seedMicro pins the device read-path numbers measured at this PR's base
+// commit, before the sparse active-window index: every pass walked the full
+// weak population and evaluated the failure CDF per cell, and RestoreAll
+// paid ReadCompareAll's fails-slice allocation and sort just to discard them.
+var seedMicro = []benchfmt.MicroResult{
+	{Name: "read_compare_all@ws10", NsPerOp: 1_398_424, AllocsPerOp: 9, BytesPerOp: 3007},
+	{Name: "read_compare_all@ws30", NsPerOp: 6_055_465, AllocsPerOp: 11, BytesPerOp: 8232},
+	{Name: "read_compare_all@ws100", NsPerOp: 36_785_451, AllocsPerOp: 14, BytesPerOp: 39592},
+	{Name: "read_compare_all_autorefresh@ws30", NsPerOp: 11_361_610, AllocsPerOp: 1, BytesPerOp: 48},
+	{Name: "restore_all@ws10", NsPerOp: 1_160_320, AllocsPerOp: 9, BytesPerOp: 2984},
+	{Name: "restore_all@ws30", NsPerOp: 5_153_856, AllocsPerOp: 11, BytesPerOp: 8232},
+	{Name: "restore_all@ws100", NsPerOp: 37_875_158, AllocsPerOp: 14, BytesPerOp: 39592},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_device.json", "output path")
+	quick := flag.Bool("quick", false, "run each benchmark body once (CI smoke)")
+	flag.Parse()
+
+	b := benchfmt.NewBaseline()
+	b.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	b.SeedMicro = seedMicro
+
+	for _, ws := range []float64{10, 30, 100} {
+		b.Micro = append(b.Micro,
+			benchfmt.Micro(fmt.Sprintf("read_compare_all@ws%g", ws),
+				measure(*quick, readCompareBody(ws, 0))))
+		if ws == 30 {
+			b.Micro = append(b.Micro,
+				benchfmt.Micro("read_compare_all_autorefresh@ws30",
+					measure(*quick, readCompareBody(ws, 0.064))))
+		}
+		b.Micro = append(b.Micro,
+			benchfmt.Micro(fmt.Sprintf("restore_all@ws%g", ws),
+				measure(*quick, restoreBody(ws))))
+	}
+
+	if err := b.WriteFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, m := range b.Micro {
+		fmt.Printf("  %-36s %.0f ns/op  %d allocs/op  %d B/op\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+	}
+	_ = os.Stdout.Sync()
+}
+
+// newBenchDevice builds the benchmark chip at the given weak-cell density:
+// the same geometry and seed as internal/dram's BenchmarkReadCompareAll.
+func newBenchDevice(weakScale, autoRef float64) *dram.Device {
+	d, err := dram.NewDevice(dram.Config{
+		Geometry:  dram.Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256},
+		Vendor:    dram.VendorB(),
+		Seed:      7,
+		WeakScale: weakScale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if autoRef > 0 {
+		d.SetAutoRefresh(autoRef)
+	}
+	return d
+}
+
+// readCompareBody is one full write/wait/read profiling pass per op.
+func readCompareBody(weakScale, autoRef float64) func(n int) {
+	d := newBenchDevice(weakScale, autoRef)
+	ps := []dram.RowData{patterns.Solid1(), patterns.Checkerboard(), patterns.Random(1)}
+	now := 0.0
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			d.WriteAll(ps[i%len(ps)], now)
+			now += 2.048
+			_ = d.ReadCompareAll(now)
+			now += 0.5
+		}
+	}
+}
+
+// restoreBody is one write plus a full refresh sweep (no failure collection)
+// per op — the path auto-refresh modelling and scrubbing lean on.
+func restoreBody(weakScale float64) func(n int) {
+	d := newBenchDevice(weakScale, 0)
+	ps := []dram.RowData{patterns.Solid1(), patterns.Checkerboard(), patterns.Random(1)}
+	now := 0.0
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			d.WriteAll(ps[i%len(ps)], now)
+			now += 2.048
+			d.RestoreAll(now)
+			now += 0.5
+		}
+	}
+}
+
+// measure times body until steady state via testing.Benchmark, or exactly
+// once in quick mode (alloc figures are only meaningful in full mode).
+func measure(quick bool, body func(n int)) testing.BenchmarkResult {
+	if quick {
+		start := time.Now()
+		body(1)
+		return testing.BenchmarkResult{N: 1, T: time.Since(start)}
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		body(b.N)
+	})
+}

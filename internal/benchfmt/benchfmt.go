@@ -1,0 +1,74 @@
+// Package benchfmt defines the machine-readable benchmark baseline schema
+// shared by cmd/benchparallel (BENCH_parallel.json) and cmd/benchdevice
+// (BENCH_device.json). Keeping the types in one place guarantees the two
+// files stay shape-compatible, so tooling that tracks the repo's perf
+// trajectory can parse either.
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// SweepResult is one workload measured sequentially and in parallel.
+type SweepResult struct {
+	Name          string  `json:"name"`
+	SequentialSec float64 `json:"sequential_sec"`
+	ParallelSec   float64 `json:"parallel_sec"`
+	Workers       int     `json:"workers"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// MicroResult is a single-threaded hot-path microbenchmark.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Baseline is the BENCH_*.json schema.
+type Baseline struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Sweeps      []SweepResult `json:"sweeps"`
+	Micro       []MicroResult `json:"micro"`
+	// SeedMicro pins the pre-optimization numbers (same benchmarks, same
+	// machine class) so the JSON records the reduction, not just the
+	// current value.
+	SeedMicro []MicroResult `json:"seed_micro"`
+}
+
+// NewBaseline returns a Baseline stamped with the Go version and CPU count.
+// The caller fills GeneratedAt (wall-clock access stays in cmd/ so this
+// package remains usable from simulation code under the repo's
+// nondeterm-time lint rule).
+func NewBaseline() Baseline {
+	return Baseline{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Micro converts a testing.BenchmarkResult into a named MicroResult.
+func Micro(name string, r testing.BenchmarkResult) MicroResult {
+	return MicroResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// WriteFile marshals the baseline as indented JSON (trailing newline) to path.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

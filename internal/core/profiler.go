@@ -128,6 +128,16 @@ func BruteForce(st TestStation, tREFI float64, opt Options) (*Result, error) {
 		ProfilingTempC:    st.Ambient(),
 	}
 	before := st.Stats()
+	// Stations backed by the sparse active-window index (both station kinds
+	// are) expose cumulative disposition counters; record this round's delta
+	// so the dram_index_* series track how much per-cell work the index
+	// avoided. Deltas are sums of per-chip counters, hence worker-count
+	// invariant.
+	ix, hasIx := st.(interface{ IndexStats() dram.IndexStats })
+	var ixBefore dram.IndexStats
+	if hasIx {
+		ixBefore = ix.IndexStats()
+	}
 
 	reg := opt.Telemetry
 	reg.Counter("core_profiling_rounds_total").Inc()
@@ -166,6 +176,13 @@ func BruteForce(st TestStation, tREFI float64, opt Options) (*Result, error) {
 		}
 	}
 	res.Stats = diffStats(st.Stats(), before)
+	if hasIx {
+		d := ix.IndexStats().Sub(ixBefore)
+		reg.Counter("dram_index_cells_skipped_total").Add(int64(d.Skipped))
+		reg.Counter("dram_index_cells_flipped_total").Add(int64(d.Flipped))
+		reg.Counter("dram_index_cells_sampled_total").Add(int64(d.Sampled))
+		reg.Counter("dram_index_cells_slowpath_total").Add(int64(d.Slowpath))
+	}
 	reg.Histogram("core_profiling_round_seconds", roundSecondsBounds).Observe(res.RuntimeSeconds())
 	opt.Tracer.Emit(st.Clock(), "round-end",
 		fmt.Sprintf("iterations=%d unique_failures=%d sim_seconds=%.3f",

@@ -42,6 +42,13 @@ type weakCell struct {
 	// scenario); -1 when the cell holds its written data.
 	stuck int8
 
+	// inStuckList records membership in Device.stuckList, the overlay a
+	// sparse sweep visits instead of scanning the population for stuck
+	// cells. stuck >= 0 implies inStuckList; the converse can be stale
+	// after a partial-write clear until the next collecting sweep compacts
+	// the list.
+	inStuckList bool
+
 	// nbrCode caches the cell's neighbourhood code for the write epoch
 	// nbrEpoch; valid only while nbrEpoch == Device.contentEpoch.
 	nbrCode  uint64

@@ -100,6 +100,16 @@ type Device struct {
 	weak  []*weakCell // all weak cells, sorted by bit index
 	byRow map[uint32][]*weakCell
 
+	// Sparse active-window index (see index.go): the weak population sorted
+	// by activation key, the parallel key array binary-searched per sweep,
+	// the overlay of currently stuck cells, a reusable band scratch slice,
+	// and the cumulative disposition counters.
+	actCells  []*weakCell
+	actKeys   []float64
+	stuckList []*weakCell
+	band      []*weakCell
+	idx       IndexStats
+
 	bulkData   RowData
 	bulkTime   float64
 	rows       map[uint32]*rowState
@@ -188,6 +198,7 @@ func (d *Device) sampleWeakPopulation() {
 		r := d.geom.rowOfBit(c.bit)
 		d.byRow[r] = append(d.byRow[r], c)
 	}
+	d.rebuildIndex()
 }
 
 // samplePowerLaw draws t in [tmin, tmax] with CDF proportional to t^beta.
@@ -404,8 +415,7 @@ func (d *Device) sampleReadBit(c *weakCell, written uint8, now, restoredAt float
 	}
 	if failed {
 		wrong := written ^ 1
-		c.stuck = int8(wrong)
-		d.flipsSoFar++
+		d.markStuck(c, wrong)
 		return wrong
 	}
 	return written
@@ -454,9 +464,7 @@ func (d *Device) WriteAll(data RowData, now float64) {
 	d.bulkData = data
 	d.bulkTime = now
 	d.rows = make(map[uint32]*rowState)
-	for _, c := range d.weak {
-		c.stuck = -1
-	}
+	d.dropStuckList()
 	d.contentEpoch++
 }
 
@@ -465,59 +473,22 @@ func (d *Device) WriteAll(data RowData, now float64) {
 // indices that mismatch. As on real DRAM, the read restores what was read:
 // failed bits remain wrong until rewritten. After the call, every row's
 // charge is considered restored at time now.
+//
+// The walk is sparse: the active-window index (index.go) binary-searches to
+// the cells whose failure probability can be nonzero at this (elapsed,
+// temperature) and only those are classified; deterministic p = 0 / p = 1
+// cells never reach the failure CDF or the seed stream, so the result is
+// byte-identical to the dense per-cell walk.
 func (d *Device) ReadCompareAll(now float64) []uint64 {
-	var fails []uint64
-	// Iterate in bit order (not map order) so same-seed devices sample
-	// identically. d.weak is sorted by bit index and rowOfBit is monotonic
-	// in it, so cells arrive clustered by row: hoist the row-state lookup to
-	// row boundaries instead of paying a map walk per weak cell.
-	var (
-		curRow     uint32
-		curData    RowData
-		curOverr   map[int]uint64
-		restoredAt float64
-		haveRow    bool
-	)
-	for _, c := range d.weak {
-		row := d.geom.rowOfBit(c.bit)
-		if !haveRow || row != curRow {
-			curRow, haveRow = row, true
-			var rs *rowState
-			curData, restoredAt, rs = d.stateOf(row)
-			curOverr = nil
-			if rs != nil {
-				curOverr = rs.overrides
-			}
-		}
-		a := d.geom.AddrOf(c.bit)
-		w := curData.Word(row, a.Word)
-		if curOverr != nil {
-			if v, ok := curOverr[a.Word]; ok {
-				w = v
-			}
-		}
-		written := uint8(w >> uint(a.Bit) & 1)
-		got := d.sampleReadBit(c, written, now, restoredAt)
-		if got != written {
-			fails = append(fails, c.bit)
-		}
-	}
-	// Every row has now been read out and restored.
-	d.bulkTime = now
-	for _, rs := range d.rows {
-		rs.restoredAt = now
-	}
-	d.readsDone++
-	slices.Sort(fails)
-	return fails
+	return d.sweep(now, true)
 }
 
 // RestoreAll models a full refresh sweep at simulated time now: every row is
 // read and written back. Failures present at the sweep stick (they are
-// restored as wrong values). It is equivalent to ReadCompareAll with the
-// result discarded.
+// restored as wrong values). It is ReadCompareAll without the failure
+// collection — no fails slice is allocated or sorted.
 func (d *Device) RestoreAll(now float64) {
-	d.ReadCompareAll(now)
+	d.sweep(now, false)
 }
 
 // WriteRow replaces the content of one row at simulated time now. words must
@@ -683,8 +654,17 @@ func (d *Device) RestoreContent(snap *ContentSnapshot, now float64) error {
 		}
 		d.rows[k] = cp
 	}
+	// Rebuild the stuck overlay to mirror the snapshot's corruption.
+	for _, c := range d.stuckList {
+		c.inStuckList = false
+	}
+	d.stuckList = d.stuckList[:0]
 	for i, c := range d.weak {
 		c.stuck = snap.stuck[i]
+		if c.stuck >= 0 {
+			c.inStuckList = true
+			d.stuckList = append(d.stuckList, c)
+		}
 	}
 	d.contentEpoch++
 	return nil

@@ -52,6 +52,24 @@ func BenchmarkReadCompareAllAutoRefresh(b *testing.B) {
 	}
 }
 
+// BenchmarkRestoreAll measures a full refresh sweep without failure
+// collection — RestoreAll used to pay ReadCompareAll's fails-slice
+// allocation and sort just to discard them; the no-collect sweep pays
+// neither.
+func BenchmarkRestoreAll(b *testing.B) {
+	d := benchReadDevice(b)
+	ps := []RowData{patterns.Solid1(), patterns.Checkerboard(), patterns.Random(1)}
+	now := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.WriteAll(ps[i%len(ps)], now)
+		now += 2.048
+		d.RestoreAll(now)
+		now += 0.5
+	}
+}
+
 // BenchmarkReadRow measures the single-row activation path used by the
 // mitigation and scrubbing layers.
 func BenchmarkReadRow(b *testing.B) {

@@ -91,14 +91,16 @@ func (d *Device) newInjectedCell(src *rng.Source, bit uint64, maxMuSeconds float
 	}
 }
 
-// insertWeakCell places c into the sorted weak slice at index i and into its
-// row's cell list, preserving bit order in both.
+// insertWeakCell places c into the sorted weak slice at index i, into its
+// row's cell list (preserving bit order in both), and into the activation
+// index (preserving key order).
 func (d *Device) insertWeakCell(c *weakCell, i int) {
 	d.weak = slices.Insert(d.weak, i, c)
 	row := d.geom.rowOfBit(c.bit)
 	cells := d.byRow[row]
 	j := sort.Search(len(cells), func(j int) bool { return cells[j].bit >= c.bit })
 	d.byRow[row] = slices.Insert(cells, j, c)
+	d.indexInsert(c)
 }
 
 // ForceVRTLowBurst forces up to n VRT cells that are currently in their

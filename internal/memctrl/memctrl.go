@@ -127,6 +127,11 @@ func NewStation(dev *dram.Device, chamber *thermal.Chamber, timing Timing) (*Sta
 // Device returns the device under test.
 func (s *Station) Device() *dram.Device { return s.dev }
 
+// IndexStats returns the device's cumulative sparse-index disposition
+// counters (how full-device sweeps skipped, flipped, sampled, or slow-pathed
+// weak cells). The profiler records per-round deltas from it.
+func (s *Station) IndexStats() dram.IndexStats { return s.dev.IndexStats() }
+
 // Clock returns the current simulated time in seconds.
 func (s *Station) Clock() float64 { return s.clock.Now() }
 

@@ -19,8 +19,13 @@ func TestModuleLatchesWorkerPanicAsError(t *testing.T) {
 		t.Fatalf("fresh module has latched error %v", m.Err())
 	}
 	m.WritePattern(panicPattern{})
-	// ReadCompare evaluates the pattern on worker goroutines; the panic
-	// must come back as a latched error, not a process crash.
+	// Let enough simulated time pass that the read's active band is
+	// non-empty (the sparse read path only evaluates row content for cells
+	// whose failure probability can be nonzero). ReadCompare then evaluates
+	// the pattern on worker goroutines; the panic must come back as a
+	// latched error, not a process crash.
+	m.DisableRefresh()
+	m.Wait(8)
 	_ = m.ReadCompare()
 	err := m.Err()
 	if err == nil {

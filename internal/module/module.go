@@ -289,6 +289,17 @@ func (m *Module) ReadCompare() []uint64 {
 	return fails
 }
 
+// IndexStats returns the module-wide sparse-index disposition counters: the
+// element-wise sum over chips. Counter sums are commutative, so the result
+// is identical at every worker count.
+func (m *Module) IndexStats() dram.IndexStats {
+	var total dram.IndexStats
+	for _, dev := range m.devs {
+		total = total.Add(dev.IndexStats())
+	}
+	return total
+}
+
 // Truth returns the module-wide ground-truth failing set at the target
 // conditions (the union of every chip's oracle, chip-offset). The error is
 // a worker-pool failure (a panic inside a chip simulation, converted by

@@ -94,12 +94,20 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	return out, nil
 }
 
+// minChunkJobs is the batch size below which the pool always runs inline: a
+// batch that cannot spread at least this many jobs across workers has no
+// work to overlap, so spawning goroutines for it is pure overhead.
+const minChunkJobs = 2
+
 // mapJobs is Map without the telemetry bookkeeping.
 func mapJobs[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	workers = clampWorkers(workers, n)
-	out := make([]T, n)
-	if workers == 1 {
-		// Plain sequential loop: the reference semantics the pool must match.
+	out := make([]T, n) // one result buffer per batch, preallocated
+	if workers == 1 || n < minChunkJobs {
+		// Inline fast path: a single worker (or a batch too small to chunk)
+		// runs on the caller's goroutine with zero goroutine, channel, or
+		// scheduling overhead — the plain sequential loop whose semantics
+		// the pool must match at every worker count.
 		for i := 0; i < n; i++ {
 			v, err := run(ctx, i, fn)
 			if err != nil {

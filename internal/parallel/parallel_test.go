@@ -1,13 +1,71 @@
 package parallel
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
+	"strconv"
 	"sync/atomic"
 	"testing"
 )
+
+// goid returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine N [running]:"). Test-only: production code must never
+// branch on goroutine identity.
+func goid(t *testing.T) uint64 {
+	t.Helper()
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	fields := bytes.Fields(buf)
+	if len(fields) < 2 {
+		t.Fatalf("unparseable stack header %q", buf)
+	}
+	id, err := strconv.ParseUint(string(fields[1]), 10, 64)
+	if err != nil {
+		t.Fatalf("unparseable goroutine id in %q: %v", buf, err)
+	}
+	return id
+}
+
+// TestMapWorkersOneRunsInline pins the inline fast path: a workers==1 batch
+// must execute every job on the caller's goroutine, spawning none.
+func TestMapWorkersOneRunsInline(t *testing.T) {
+	caller := goid(t)
+	ids, err := Map(context.Background(), 64, 1, func(_ context.Context, i int) (uint64, error) {
+		return goid(t), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id != caller {
+			t.Fatalf("job %d ran on goroutine %d, want caller %d", i, id, caller)
+		}
+	}
+}
+
+// TestMapSmallBatchRunsInline pins the chunking threshold: batches below
+// minChunkJobs run inline even when many workers are requested, because a
+// single job cannot overlap any work across workers.
+func TestMapSmallBatchRunsInline(t *testing.T) {
+	caller := goid(t)
+	for n := 1; n < minChunkJobs; n++ {
+		ids, err := Map(context.Background(), n, 8, func(_ context.Context, i int) (uint64, error) {
+			return goid(t), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			if id != caller {
+				t.Fatalf("n=%d: job %d ran on goroutine %d, want caller %d", n, i, id, caller)
+			}
+		}
+	}
+}
 
 func TestMapMatchesSequential(t *testing.T) {
 	const n = 257
