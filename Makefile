@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-go bench-parallel soak-quick lint lint-fixtures
+.PHONY: all build vet test race check bench bench-go bench-parallel benchdiff soak-quick lint lint-fixtures
 
 all: check
 
@@ -51,7 +51,14 @@ bench-go:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # bench-parallel regenerates BENCH_parallel.json: sequential vs parallel
-# wall-clock for the population and tradeoff sweeps plus device read-path
-# microbenchmarks.
+# wall-clock for the population, tradeoff and banked-device sweeps plus
+# device read-path microbenchmarks.
 bench-parallel:
 	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json
+
+# benchdiff measures a fresh device baseline and compares it against the
+# committed BENCH_device.json, failing on >25% ns/op regressions in named
+# micros. Timing-sensitive: advisory on shared/loaded machines.
+benchdiff:
+	$(GO) run ./cmd/benchdevice -out /tmp/reaper-bench-fresh.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_device.json -fresh /tmp/reaper-bench-fresh.json -max-regress 0.25

@@ -6,13 +6,23 @@
 // 30 is the standard bench density, 100 is a stress density where the active
 // band holds thousands of cells per pass.
 //
+// Beyond the density sweep, the baseline records the banked-parallelism
+// micros (read_compare_all_banked_w*: the same full-classification sweep in
+// BankStreams mode at 1, 2 and 4 workers — byte-identical results, wall
+// clock only moves on multi-core hosts; see the num_cpu/gomaxprocs header),
+// the incremental re-profiling micros (incr_round1: every round classifies
+// in full; incr_steady: steady-state rounds served from the round cache),
+// and the fleet-construction micros (new_device vs new_device_template).
+//
 // Usage:
 //
-//	benchdevice [-out BENCH_device.json] [-quick]
+//	benchdevice [-out BENCH_device.json] [-quick] [-rounds N]
 //
 // -quick runs every benchmark body once instead of until steady state; CI
 // uses it as a non-gating smoke check that the hot paths still execute and
-// the baseline still marshals.
+// the baseline still marshals. -rounds sets how many steady-state rounds the
+// incr_steady micro averages over per op (first, cache-building round
+// excluded).
 package main
 
 import (
@@ -45,7 +55,11 @@ var seedMicro = []benchfmt.MicroResult{
 func main() {
 	out := flag.String("out", "BENCH_device.json", "output path")
 	quick := flag.Bool("quick", false, "run each benchmark body once (CI smoke)")
+	rounds := flag.Int("rounds", 8, "steady-state rounds per op for the incr_steady micro (>= 2)")
 	flag.Parse()
+	if *rounds < 2 {
+		log.Fatalf("-rounds %d: need at least 2 (one warm round plus one steady round)", *rounds)
+	}
 
 	b := benchfmt.NewBaseline()
 	b.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
@@ -64,6 +78,25 @@ func main() {
 			benchfmt.Micro(fmt.Sprintf("restore_all@ws%g", ws),
 				measure(*quick, restoreBody(ws))))
 	}
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Micro = append(b.Micro,
+			benchfmt.Micro(fmt.Sprintf("read_compare_all_banked_w%d@ws30", workers),
+				measure(*quick, bankedBody(30, workers))))
+	}
+
+	b.Micro = append(b.Micro,
+		benchfmt.Micro("incr_round1@ws30", measure(*quick, incrRound1Body(30))))
+	steady := benchfmt.Micro("incr_steady@ws30", measure(*quick, incrSteadyBody(30, *rounds)))
+	// The body runs rounds-1 steady rounds per op; report per-round cost.
+	steady.NsPerOp /= float64(*rounds - 1)
+	steady.AllocsPerOp /= int64(*rounds - 1)
+	steady.BytesPerOp /= int64(*rounds - 1)
+	b.Micro = append(b.Micro, steady)
+
+	b.Micro = append(b.Micro,
+		benchfmt.Micro("new_device@ws100", measure(*quick, newDeviceBody(100))),
+		benchfmt.Micro("new_device_template@ws100", measure(*quick, newDeviceTemplateBody(100))))
 
 	if err := b.WriteFile(*out); err != nil {
 		log.Fatal(err)
@@ -121,6 +154,113 @@ func restoreBody(weakScale float64) func(n int) {
 			now += 2.048
 			d.RestoreAll(now)
 			now += 0.5
+		}
+	}
+}
+
+// bankedBody is one full-classification write/wait/read pass in BankStreams
+// mode: a fresh random pattern per op defeats the round cache, so the
+// sharded classification is what gets measured.
+func bankedBody(weakScale float64, workers int) func(n int) {
+	d, err := dram.NewDevice(dram.Config{
+		Geometry:    dram.Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256},
+		Vendor:      dram.VendorB(),
+		Seed:        7,
+		WeakScale:   weakScale,
+		BankStreams: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.SetSweepWorkers(workers)
+	now := 0.0
+	seq := uint64(0)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			d.WriteAll(patterns.Random(seq), now)
+			seq++
+			now += 2.048
+			_ = d.ReadCompareAll(now)
+			now += 0.5
+		}
+	}
+}
+
+// incrRound1Body is the round-1 cost of a profiling cadence: every op writes
+// a pattern the device has not seen, so every sweep classifies the
+// population in full (sparse-index cursor, threshold tests, DPD hashes, band
+// sort) before sampling.
+func incrRound1Body(weakScale float64) func(n int) {
+	d := newBenchDevice(weakScale, 0)
+	now := 0.0
+	seq := uint64(0)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			d.WriteAll(patterns.Random(seq), now)
+			seq++
+			now += 2.048
+			_ = d.ReadCompareAll(now)
+			now += 0.5
+		}
+	}
+}
+
+// incrSteadyBody is the steady-state cost: a fixed pattern at a fixed
+// cadence, warmed with one cache-building round, then rounds-1 rounds per op
+// that replay the cached classification (only the sampling band draws).
+func incrSteadyBody(weakScale float64, rounds int) func(n int) {
+	d := newBenchDevice(weakScale, 0)
+	pat := patterns.Checkerboard()
+	now := 0.0
+	d.WriteAll(pat, now)
+	now += 2.048
+	_ = d.ReadCompareAll(now)
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			for r := 1; r < rounds; r++ {
+				d.WriteAll(pat, now)
+				now += 2.048
+				_ = d.ReadCompareAll(now)
+			}
+		}
+	}
+}
+
+// newDeviceBody measures fleet-member construction from the analytic vendor
+// distributions; newDeviceTemplateBody amortizes the distribution draws
+// through a shared population template (built once, outside the timer).
+func newDeviceBody(weakScale float64) func(n int) {
+	cfg := dram.Config{
+		Geometry:  dram.Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256},
+		Vendor:    dram.VendorB(),
+		WeakScale: weakScale,
+	}
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			cfg.Seed = uint64(i + 1)
+			if _, err := dram.NewDevice(cfg); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func newDeviceTemplateBody(weakScale float64) func(n int) {
+	cfg := dram.Config{
+		Geometry:  dram.Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256},
+		Vendor:    dram.VendorB(),
+		WeakScale: weakScale,
+	}
+	tpl, err := dram.NewPopulationTemplate(cfg, 1<<16, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return func(n int) {
+		for i := 0; i < n; i++ {
+			cfg.Seed = uint64(i + 1)
+			if _, err := dram.NewDeviceFromTemplate(tpl, cfg); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 }

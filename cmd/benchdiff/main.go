@@ -1,0 +1,91 @@
+// Command benchdiff compares a freshly measured benchmark baseline against a
+// committed BENCH_*.json and fails on named-micro regressions: for every
+// microbenchmark name present in both files, the fresh ns/op may not exceed
+// the committed ns/op by more than -max-regress (a fraction; default 0.25).
+// Rows only one side has are reported but never fail the run, so adding or
+// retiring micros does not break the gate.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_device.json -fresh /tmp/fresh.json [-max-regress 0.25]
+//
+// Exit status: 0 when every shared micro is within bounds, 1 on any
+// regression beyond the threshold, 2 on usage or parse errors. Intended for
+// `make benchdiff` and the non-gating CI step next to the bench smoke —
+// timing on shared runners is noisy, so treat failures as a prompt to
+// re-measure, not as ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reaper/internal/benchfmt"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_device.json", "committed baseline JSON")
+	fresh := flag.String("fresh", "", "freshly measured baseline JSON (required)")
+	maxRegress := flag.Float64("max-regress", 0.25, "max allowed ns/op regression as a fraction of the committed value")
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fresh is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := benchfmt.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := benchfmt.ReadFile(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if base.NumCPU != cur.NumCPU || base.GOARCH != cur.GOARCH {
+		fmt.Printf("note: machine shape differs (baseline %d-cpu/%s, fresh %d-cpu/%s); ratios may not be meaningful\n",
+			base.NumCPU, base.GOARCH, cur.NumCPU, cur.GOARCH)
+	}
+
+	committed := make(map[string]benchfmt.MicroResult, len(base.Micro))
+	for _, m := range base.Micro {
+		committed[m.Name] = m
+	}
+
+	regressions := 0
+	seen := make(map[string]bool, len(cur.Micro))
+	for _, m := range cur.Micro {
+		seen[m.Name] = true
+		want, ok := committed[m.Name]
+		if !ok {
+			fmt.Printf("  new    %-36s %12.0f ns/op (no committed row)\n", m.Name, m.NsPerOp)
+			continue
+		}
+		ratio := 0.0
+		if want.NsPerOp > 0 {
+			ratio = m.NsPerOp/want.NsPerOp - 1
+		}
+		status := "ok"
+		if ratio > *maxRegress {
+			status = "REGRESS"
+			regressions++
+		}
+		fmt.Printf("  %-7s%-36s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			status, m.Name, want.NsPerOp, m.NsPerOp, 100*ratio)
+	}
+	for _, m := range base.Micro {
+		if !seen[m.Name] {
+			fmt.Printf("  gone   %-36s (committed row not measured)\n", m.Name)
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d micro(s) regressed more than %.0f%% vs %s\n",
+			regressions, 100**maxRegress, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: all shared micros within %.0f%% of %s\n", 100**maxRegress, *baseline)
+}

@@ -1,9 +1,10 @@
 // Command benchparallel measures the repository's parallel fleet engine and
 // device read-path hot paths and writes a machine-readable baseline to
 // BENCH_parallel.json (schema: internal/benchfmt): sequential vs parallel
-// wall-clock for the population and tradeoff sweeps, plus ReadCompareAll
-// microbenchmark numbers. The JSON seeds the repo's perf trajectory — future
-// PRs append comparable runs.
+// wall-clock for the population and tradeoff sweeps and for per-bank
+// intra-chip sharding on one BankStreams device (banks_parallel), plus
+// ReadCompareAll microbenchmark numbers. The JSON seeds the repo's perf
+// trajectory — future PRs append comparable runs.
 //
 // Usage:
 //
@@ -67,6 +68,10 @@ func main() {
 		return err
 	}))
 
+	b.Sweeps = append(b.Sweeps, measureSweep("banks_parallel", *workers, func(w int) error {
+		return bankedSweeps(w, 40)
+	}))
+
 	b.Micro = append(b.Micro,
 		benchfmt.Micro("read_compare_all", benchReadCompareAll(0)),
 		benchfmt.Micro("read_compare_all_autorefresh", benchReadCompareAll(0.064)),
@@ -87,10 +92,10 @@ func main() {
 
 // measureSweep times one run at workers=1 and one at the requested count.
 // The sweeps are deterministic, so a single timed run per mode compares the
-// same work on both sides. With one effective worker both runs execute the
-// identical inline code path (parallel.Map runs workers==1 batches on the
-// caller's goroutine), so the speedup is parity by construction and is
-// reported as 1.0 instead of timer jitter.
+// same work on both sides. The speedup is always the measured ratio — even
+// at workers=1, where both runs take the same inline code path and the ratio
+// reports the run-to-run timer noise honestly instead of a pinned 1.0 (the
+// num_cpu/gomaxprocs header says whether parallel wins were possible at all).
 func measureSweep(name string, workers int, run func(workers int) error) benchfmt.SweepResult {
 	timeOne := func(w int) float64 {
 		start := time.Now()
@@ -105,13 +110,36 @@ func measureSweep(name string, workers int, run func(workers int) error) benchfm
 		SequentialSec: timeOne(1),
 		ParallelSec:   timeOne(workers),
 	}
-	switch {
-	case workers == 1:
-		r.Speedup = 1.0
-	case r.ParallelSec > 0:
+	if r.ParallelSec > 0 {
 		r.Speedup = r.SequentialSec / r.ParallelSec
 	}
 	return r
+}
+
+// bankedSweeps runs rounds full-classification sweeps on one BankStreams
+// device sharded across w workers — the intra-chip parallelism row. Fresh
+// random patterns defeat the round cache so every sweep classifies in full;
+// results are byte-identical at every worker count, only wall clock moves.
+func bankedSweeps(w, rounds int) error {
+	d, err := dram.NewDevice(dram.Config{
+		Geometry:    dram.Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256},
+		Vendor:      dram.VendorB(),
+		Seed:        7,
+		WeakScale:   100,
+		BankStreams: true,
+	})
+	if err != nil {
+		return err
+	}
+	d.SetSweepWorkers(w)
+	now := 0.0
+	for i := 0; i < rounds; i++ {
+		d.WriteAll(patterns.Random(uint64(i)), now)
+		now += 2.048
+		_ = d.ReadCompareAll(now)
+		now += 0.5
+	}
+	return nil
 }
 
 // benchReadCompareAll mirrors internal/dram's BenchmarkReadCompareAll: one

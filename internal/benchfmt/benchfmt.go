@@ -31,25 +31,35 @@ type MicroResult struct {
 
 // Baseline is the BENCH_*.json schema.
 type Baseline struct {
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	NumCPU      int           `json:"num_cpu"`
-	Sweeps      []SweepResult `json:"sweeps"`
-	Micro       []MicroResult `json:"micro"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	// NumCPU, GOOS, GOARCH and GOMAXPROCS record the machine shape the
+	// numbers were measured on; speedup rows are only meaningful relative
+	// to them (a 1-CPU runner cannot show parallel wins, and the JSON must
+	// say so rather than imply a hardware-independent ratio).
+	NumCPU     int           `json:"num_cpu"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Sweeps     []SweepResult `json:"sweeps"`
+	Micro      []MicroResult `json:"micro"`
 	// SeedMicro pins the pre-optimization numbers (same benchmarks, same
 	// machine class) so the JSON records the reduction, not just the
 	// current value.
 	SeedMicro []MicroResult `json:"seed_micro"`
 }
 
-// NewBaseline returns a Baseline stamped with the Go version and CPU count.
-// The caller fills GeneratedAt (wall-clock access stays in cmd/ so this
-// package remains usable from simulation code under the repo's
+// NewBaseline returns a Baseline stamped with the Go version and machine
+// shape. The caller fills GeneratedAt (wall-clock access stays in cmd/ so
+// this package remains usable from simulation code under the repo's
 // nondeterm-time lint rule).
 func NewBaseline() Baseline {
 	return Baseline{
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -63,12 +73,37 @@ func Micro(name string, r testing.BenchmarkResult) MicroResult {
 	}
 }
 
-// WriteFile marshals the baseline as indented JSON (trailing newline) to path.
+// WriteFile marshals the baseline as indented JSON (trailing newline) to
+// path. Nil slices are normalized to empty first so absent sections marshal
+// as [] rather than null — consumers of the schema (benchdiff, external
+// trackers) get a list either way.
 func (b *Baseline) WriteFile(path string) error {
+	if b.Sweeps == nil {
+		b.Sweeps = []SweepResult{}
+	}
+	if b.Micro == nil {
+		b.Micro = []MicroResult{}
+	}
+	if b.SeedMicro == nil {
+		b.SeedMicro = []MicroResult{}
+	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
 	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile parses a BENCH_*.json baseline.
+func ReadFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
 }

@@ -1,0 +1,82 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileNormalizesNilSlices pins the null-vs-[] schema fix: a baseline
+// with absent sections must marshal them as empty lists, never null.
+func TestWriteFileNormalizesNilSlices(t *testing.T) {
+	b := NewBaseline()
+	b.GeneratedAt = "2026-01-01T00:00:00Z"
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "null") {
+		t.Fatalf("baseline marshalled a null section:\n%s", data)
+	}
+	for _, want := range []string{`"sweeps": []`, `"micro": []`, `"seed_micro": []`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("baseline missing %s:\n%s", want, data)
+		}
+	}
+}
+
+// TestBaselineRoundTrip checks a fully populated baseline survives
+// WriteFile + ReadFile unchanged.
+func TestBaselineRoundTrip(t *testing.T) {
+	b := NewBaseline()
+	b.GeneratedAt = "2026-01-01T00:00:00Z"
+	b.Sweeps = []SweepResult{{Name: "s", SequentialSec: 2, ParallelSec: 1, Workers: 4, Speedup: 2}}
+	b.Micro = []MicroResult{{Name: "m", NsPerOp: 123.5, AllocsPerOp: 3, BytesPerOp: 48}}
+	b.SeedMicro = []MicroResult{{Name: "m", NsPerOp: 999, AllocsPerOp: 9, BytesPerOp: 96}}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(b)
+	round, _ := json.Marshal(got)
+	if string(want) != string(round) {
+		t.Fatalf("round trip changed the baseline:\nwrote: %s\nread:  %s", want, round)
+	}
+}
+
+// TestCommittedBaselinesParse unmarshals both committed BENCH schemas: the
+// files at the repo root must always load through this package, and their
+// sections must be lists (the "sweeps": null regression).
+func TestCommittedBaselinesParse(t *testing.T) {
+	for _, name := range []string{"BENCH_device.json", "BENCH_parallel.json"} {
+		b, err := ReadFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.GoVersion == "" || b.NumCPU == 0 || b.GeneratedAt == "" {
+			t.Fatalf("%s: header incomplete: %+v", name, b)
+		}
+		if b.Sweeps == nil || b.Micro == nil || b.SeedMicro == nil {
+			t.Fatalf("%s: contains a null section (sweeps=%v micro=%v seed_micro=%v)",
+				name, b.Sweeps == nil, b.Micro == nil, b.SeedMicro == nil)
+		}
+		if len(b.Micro) == 0 {
+			t.Fatalf("%s: no microbenchmark rows", name)
+		}
+		for _, m := range b.Micro {
+			if m.Name == "" || m.NsPerOp <= 0 {
+				t.Fatalf("%s: malformed micro row %+v", name, m)
+			}
+		}
+	}
+}

@@ -138,6 +138,18 @@ func BruteForce(st TestStation, tREFI float64, opt Options) (*Result, error) {
 	if hasIx {
 		ixBefore = ix.IndexStats()
 	}
+	// Likewise for the incremental round cache and banked-sweep counters; both
+	// are deterministic and worker-count invariant by construction.
+	ic, hasIc := st.(interface{ IncrStats() dram.IncrStats })
+	var icBefore dram.IncrStats
+	if hasIc {
+		icBefore = ic.IncrStats()
+	}
+	bk, hasBk := st.(interface{ BankStats() dram.BankStats })
+	var bkBefore dram.BankStats
+	if hasBk {
+		bkBefore = bk.BankStats()
+	}
 
 	reg := opt.Telemetry
 	reg.Counter("core_profiling_rounds_total").Inc()
@@ -182,6 +194,18 @@ func BruteForce(st TestStation, tREFI float64, opt Options) (*Result, error) {
 		reg.Counter("dram_index_cells_flipped_total").Add(int64(d.Flipped))
 		reg.Counter("dram_index_cells_sampled_total").Add(int64(d.Sampled))
 		reg.Counter("dram_index_cells_slowpath_total").Add(int64(d.Slowpath))
+	}
+	if hasIc {
+		d := ic.IncrStats().Sub(icBefore)
+		reg.Counter("dram_incr_sweeps_fast_total").Add(int64(d.FastSweeps))
+		reg.Counter("dram_incr_sweeps_full_total").Add(int64(d.FullSweeps))
+		reg.Counter("dram_incr_cells_reused_total").Add(int64(d.ReusedCells))
+		reg.Counter("dram_incr_cells_dirty_total").Add(int64(d.DirtyCells))
+	}
+	if hasBk {
+		d := bk.BankStats().Sub(bkBefore)
+		reg.Counter("dram_bank_sweeps_total").Add(int64(d.BankedSweeps))
+		reg.Counter("dram_bank_shards_total").Add(int64(d.BankShards))
 	}
 	reg.Histogram("core_profiling_round_seconds", roundSecondsBounds).Observe(res.RuntimeSeconds())
 	opt.Tracer.Emit(st.Clock(), "round-end",

@@ -1,0 +1,248 @@
+package dram
+
+import (
+	"slices"
+	"testing"
+
+	"reaper/internal/patterns"
+	"reaper/internal/rng"
+)
+
+// driveThreeWay extends driveSparseVsDense to the banked execution modes: a
+// dense per-cell oracle, a sequential sparse device, and a sharded device at
+// the given worker count — all three in BankStreams mode with identical
+// config and seed — run through one randomized operation script. Every
+// read-compare must agree bit-for-bit, and at the end per-cell stuck state,
+// operation counters, banked-sweep counters, and the positions of the device
+// stream AND every per-bank stream must be identical across all three.
+func driveThreeWay(t *testing.T, cfg Config, opSeed uint64, passes, workers int) {
+	t.Helper()
+	cfg.BankStreams = true
+	dense, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked.SetSweepWorkers(workers)
+	if workers > 1 && !banked.shardedMode() {
+		t.Fatal("banked device did not enter sharded mode")
+	}
+	if dense.WeakCellCount() == 0 {
+		t.Fatal("degenerate test: no weak cells sampled")
+	}
+	devs := []*Device{dense, seq, banked}
+
+	ops := rng.New(opSeed)
+	pats := []RowData{
+		patterns.Solid1(),
+		patterns.Checkerboard(),
+		patterns.Random(opSeed),
+		patterns.Invert(patterns.Random(opSeed + 1)),
+	}
+	waits := []float64{0.01, 0.128, 0.7, 2.048, 5.5}
+	refs := []float64{0, 0.064, 0.3}
+
+	now := 0.0
+	for _, d := range devs {
+		d.WriteAll(pats[0], now)
+	}
+
+	for p := 0; p < passes; p++ {
+		switch ops.Intn(9) {
+		case 0: // ambient temperature move
+			temp := RefTempC + float64(ops.Intn(31)) - 5
+			for _, d := range devs {
+				d.SetTemperature(temp)
+			}
+		case 1: // auto-refresh reconfiguration
+			ar := refs[ops.Intn(len(refs))]
+			for _, d := range devs {
+				d.SetAutoRefresh(ar)
+			}
+		case 2: // full-row rewrite
+			bank := ops.Intn(cfg.Geometry.Banks)
+			row := ops.Intn(cfg.Geometry.RowsPerBank)
+			words := make([]uint64, cfg.Geometry.WordsPerRow)
+			fill := ops.Uint64()
+			for i := range words {
+				words[i] = fill
+			}
+			for _, d := range devs {
+				if err := d.WriteRow(bank, row, words, now); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 3: // single-word write
+			bank := ops.Intn(cfg.Geometry.Banks)
+			row := ops.Intn(cfg.Geometry.RowsPerBank)
+			word := ops.Intn(cfg.Geometry.WordsPerRow)
+			val := ops.Uint64()
+			for _, d := range devs {
+				if err := d.WriteWord(bank, row, word, val, now); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 4: // row readback must agree too
+			bank := ops.Intn(cfg.Geometry.Banks)
+			row := ops.Intn(cfg.Geometry.RowsPerBank)
+			dw, err := dense.ReadRow(bank, row, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range devs[1:] {
+				w, err := d.ReadRow(bank, row, now)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(dw, w) {
+					t.Fatalf("pass %d: ReadRow(%d,%d) diverged", p, bank, row)
+				}
+			}
+		case 5: // snapshot + immediate restore (stuck overlay rebuild)
+			for _, d := range devs {
+				if err := d.RestoreContent(d.SnapshotContent(), now); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 6: // bulk pattern rewrite
+			pat := pats[ops.Intn(len(pats))]
+			for _, d := range devs {
+				d.WriteAll(pat, now)
+			}
+		case 7: // refresh sweep without collection
+			denseReadCompareAll(dense, now)
+			seq.RestoreAll(now)
+			banked.RestoreAll(now)
+		case 8: // fault injection: new cells, VRT forcing, DPD reshuffle
+			injSeed := ops.Uint64()
+			var prev []uint64
+			for i, d := range devs {
+				src := rng.New(injSeed)
+				bits := d.InjectWeakCells(src, 2, 0, now)
+				if i > 0 && !slices.Equal(bits, prev) {
+					t.Fatalf("pass %d: injection diverged", p)
+				}
+				prev = bits
+				d.ForceVRTLowBurst(src, 1, 0, now)
+				d.RescrambleDPD(src, 3)
+			}
+		}
+
+		now += waits[ops.Intn(len(waits))]
+		df := denseReadCompareAll(dense, now)
+		sf := seq.ReadCompareAll(now)
+		bf := banked.ReadCompareAll(now)
+		if !slices.Equal(df, sf) {
+			t.Fatalf("pass %d (now=%.3f): dense fails %d, sequential fails %d\ndense: %v\nseq:   %v",
+				p, now, len(df), len(sf), df, sf)
+		}
+		if !slices.Equal(df, bf) {
+			t.Fatalf("pass %d (now=%.3f): dense fails %d, banked fails %d\ndense:  %v\nbanked: %v",
+				p, now, len(df), len(bf), df, bf)
+		}
+	}
+
+	for i := range dense.weak {
+		if dense.weak[i].stuck != seq.weak[i].stuck || dense.weak[i].stuck != banked.weak[i].stuck {
+			t.Fatalf("cell %d (bit %d): stuck dense=%d seq=%d banked=%d", i, dense.weak[i].bit,
+				dense.weak[i].stuck, seq.weak[i].stuck, banked.weak[i].stuck)
+		}
+	}
+	dr, dfl := dense.Stats()
+	for _, d := range devs[1:] {
+		r, fl := d.Stats()
+		if r != dr || fl != dfl {
+			t.Fatalf("stats diverged: dense (%d reads, %d flips) vs (%d reads, %d flips)", dr, dfl, r, fl)
+		}
+	}
+	// The sparse-path disposition counters and the logical banked-sweep
+	// counters must not depend on the worker count.
+	if seq.IndexStats() != banked.IndexStats() {
+		t.Fatalf("index stats diverged: seq %+v vs banked %+v", seq.IndexStats(), banked.IndexStats())
+	}
+	if seq.BankStats() != banked.BankStats() {
+		t.Fatalf("bank stats diverged: seq %+v vs banked %+v", seq.BankStats(), banked.BankStats())
+	}
+	if banked.BankStats().BankedSweeps == 0 {
+		t.Fatal("no banked sweeps recorded")
+	}
+	// Strongest check: identical positions on the device stream and on every
+	// per-bank sampling stream, so the next raw draws all agree.
+	if s, b := seq.src.Uint64(), banked.src.Uint64(); s != b || s != dense.src.Uint64() {
+		t.Fatalf("device seed streams diverged: next draw %#x vs %#x", s, b)
+	}
+	for b := range banked.bankSrcs {
+		dv, sv, bv := dense.bankSrcs[b].Uint64(), seq.bankSrcs[b].Uint64(), banked.bankSrcs[b].Uint64()
+		if dv != sv || dv != bv {
+			t.Fatalf("bank %d streams diverged: dense %#x seq %#x banked %#x", b, dv, sv, bv)
+		}
+	}
+}
+
+// TestBankedMatchesDenseAndSequential is the core property test of banked
+// intra-chip parallelism: sharded execution must be byte-identical to the
+// sequential banked sweep — and both to the dense per-cell oracle — at
+// workers 1 and 4, across seeds and the full operation mix.
+func TestBankedMatchesDenseAndSequential(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			cfg := sparseTestConfig(seed)
+			driveThreeWay(t, cfg, seed*1511, 30, workers)
+		}
+	}
+}
+
+// TestBankedVRTHeavy stresses per-bank stream routing on the VRT slow path,
+// where cells carry private switch streams alongside the bank streams.
+func TestBankedVRTHeavy(t *testing.T) {
+	cfg := sparseTestConfig(2)
+	cfg.Vendor.VRTFraction = 0.5
+	cfg.Vendor.VRTDwellLowHours = 0.5
+	cfg.Vendor.VRTDwellHighHours = 0.5
+	driveThreeWay(t, cfg, 6011, 30, 4)
+}
+
+// TestBankedManyWorkersClamp checks worker counts far beyond the bank count
+// change nothing: shards are per-bank, surplus workers idle.
+func TestBankedManyWorkersClamp(t *testing.T) {
+	cfg := sparseTestConfig(3)
+	driveThreeWay(t, cfg, 7717, 20, 64)
+}
+
+// TestBankStreamsChangeResults pins that BankStreams mode is a distinct
+// sampling universe: with per-bank streams the draws come from different
+// sequences than the single-stream device, so at least one sweep outcome
+// should differ across a varied script. (Guards against silently wiring
+// every bank back to the device stream.)
+func TestBankStreamsChangeResults(t *testing.T) {
+	cfg := sparseTestConfig(5)
+	single, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BankStreams = true
+	bankedDev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := []RowData{patterns.Solid1(), patterns.Checkerboard(), patterns.Random(99)}
+	now := 0.0
+	differ := false
+	for p := 0; p < 40 && !differ; p++ {
+		pat := pats[p%len(pats)]
+		single.WriteAll(pat, now)
+		bankedDev.WriteAll(pat, now)
+		now += 2.048
+		differ = !slices.Equal(single.ReadCompareAll(now), bankedDev.ReadCompareAll(now))
+	}
+	if !differ {
+		t.Fatal("BankStreams mode never diverged from single-stream mode — bank streams are not in use")
+	}
+}

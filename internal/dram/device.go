@@ -64,6 +64,16 @@ type Config struct {
 	// experiments.
 	DisableVRT bool
 	DisableDPD bool
+
+	// BankStreams gives every bank its own read-sampling stream, derived as a
+	// pure function of (Seed, bank) via rng.Derive, instead of all banks
+	// sharing the device stream. This is what makes bank-sharded parallel
+	// sweeps possible (SetSweepWorkers): per-bank draws are independent of the
+	// other banks' sampling order. Population sampling still uses the device
+	// stream, so the chip identity is unchanged; read outcomes differ from the
+	// default single-stream mode but are byte-identical at every worker count
+	// within banked mode.
+	BankStreams bool
 }
 
 func (c *Config) fillDefaults() {
@@ -100,6 +110,12 @@ type Device struct {
 	weak  []*weakCell // all weak cells, sorted by bit index
 	byRow map[uint32][]*weakCell
 
+	// cellArena backs weakCell storage in pointer-stable chunks: full
+	// chunks are abandoned (the cells carved from them keep them alive),
+	// never grown, so &cellArena[i] stays valid for the device's lifetime
+	// while construction pays ~1 allocation per chunk instead of per cell.
+	cellArena []weakCell
+
 	// Sparse active-window index (see index.go): the weak population sorted
 	// by activation key, the parallel key array binary-searched per sweep,
 	// the overlay of currently stuck cells, a reusable band scratch slice,
@@ -124,33 +140,85 @@ type Device struct {
 	// reads never change written content, so the code computed on the first
 	// sample after a write stays valid until the next write.
 	contentEpoch uint64
+
+	// Banked sampling streams (bank.go): non-nil only in BankStreams mode.
+	// bankBits is the number of bit addresses per bank; sweepWorkers bounds
+	// the shard fan-out of banked full-device sweeps; shards is the reusable
+	// per-bank scratch.
+	bankSrcs     []*rng.Source
+	bankBits     uint64
+	sweepWorkers int
+	shards       []bankShard
+	bank         BankStats
+
+	// Incremental round cache (incremental.go): classification results keyed
+	// by the sweep's (content, temperature, elapsed, auto-refresh) signature,
+	// the list of cells injected since the cache last emptied, and the
+	// fast/full round counters. bulkComparable records whether bulkData's
+	// dynamic type supports ==, the cheap content-identity test the cache
+	// keys rely on.
+	cacheOn        bool
+	rounds         map[roundKey]*roundEntry
+	dirtyCells     []*weakCell
+	incr           IncrStats
+	bulkComparable bool
+
+	// failScratch is the reusable failing-bit accumulator of full-device
+	// sweeps; collecting sweeps copy it into an exact-size result.
+	failScratch []uint64
+}
+
+// validate fills defaults and checks the config is usable; it is the shared
+// front door of NewDevice and NewDeviceFromTemplate.
+func (c *Config) validate() error {
+	c.fillDefaults()
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Vendor.Validate(); err != nil {
+		return err
+	}
+	if c.MinRetention <= 0 || c.MaxRetention <= c.MinRetention {
+		return fmt.Errorf("dram: invalid retention domain [%v, %v]", c.MinRetention, c.MaxRetention)
+	}
+	return nil
 }
 
 // NewDevice builds a device and samples its weak-cell population.
 func NewDevice(cfg Config) (*Device, error) {
-	cfg.fillDefaults()
-	if err := cfg.Geometry.Validate(); err != nil {
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Vendor.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.MinRetention <= 0 || cfg.MaxRetention <= cfg.MinRetention {
-		return nil, fmt.Errorf("dram: invalid retention domain [%v, %v]", cfg.MinRetention, cfg.MaxRetention)
-	}
-	d := &Device{
-		cfg:          cfg,
-		geom:         cfg.Geometry,
-		vend:         cfg.Vendor,
-		byRow:        make(map[uint32][]*weakCell),
-		bulkData:     zeroData{},
-		rows:         make(map[uint32]*rowState),
-		tempC:        cfg.AmbientTempC,
-		src:          rng.New(cfg.Seed),
-		contentEpoch: 1, // so zero-valued per-cell caches start invalid
-	}
+	d := newDeviceShell(cfg)
 	d.sampleWeakPopulation()
 	return d, nil
+}
+
+// newDeviceShell builds an empty device from a validated config; the caller
+// samples the weak population (NewDevice from the vendor distributions,
+// NewDeviceFromTemplate from a pre-drawn template).
+func newDeviceShell(cfg Config) *Device {
+	d := &Device{
+		cfg:            cfg,
+		geom:           cfg.Geometry,
+		vend:           cfg.Vendor,
+		byRow:          make(map[uint32][]*weakCell),
+		bulkData:       zeroData{},
+		bulkComparable: true,
+		rows:           make(map[uint32]*rowState),
+		tempC:          cfg.AmbientTempC,
+		src:            rng.New(cfg.Seed),
+		cacheOn:        true,
+		contentEpoch:   1, // so zero-valued per-cell caches start invalid
+		bankBits:       uint64(cfg.Geometry.RowsPerBank * cfg.Geometry.RowBits()),
+	}
+	if cfg.BankStreams {
+		d.bankSrcs = make([]*rng.Source, cfg.Geometry.Banks)
+		for b := range d.bankSrcs {
+			d.bankSrcs[b] = rng.Derive(cfg.Seed, bankStreamSalt+uint64(b))
+		}
+	}
+	return d
 }
 
 // sampleWeakPopulation draws the base weak cells and the latent VRT
@@ -206,6 +274,22 @@ func (d *Device) samplePowerLaw(tmin, tmax, beta float64) float64 {
 	return powerLawSample(d.src, tmin, tmax, beta)
 }
 
+// cellArenaChunk is the cell count per arena chunk: large enough that a
+// bench-scale population costs tens of allocations, small enough that a
+// sparse device does not strand much memory.
+const cellArenaChunk = 1024
+
+// allocCell returns a zeroed weakCell carved from the device's chunked
+// arena. Chunks are never reallocated once a cell has been handed out, so
+// the returned pointer is stable.
+func (d *Device) allocCell() *weakCell {
+	if len(d.cellArena) == cap(d.cellArena) {
+		d.cellArena = make([]weakCell, 0, cellArenaChunk)
+	}
+	d.cellArena = append(d.cellArena, weakCell{})
+	return &d.cellArena[len(d.cellArena)-1]
+}
+
 // addWeakCell creates one weak cell at a fresh random bit position.
 // muHighOverride > 0 forces the VRT high-retention state to that value
 // (used for the latent reservoir); otherwise a VRT cell's high state is a
@@ -229,7 +313,8 @@ func (d *Device) addWeakCell(taken map[uint64]struct{}, mu float64, vrt bool, mu
 		u := d.src.Float64()
 		sens = v.DPDStrength * u * u
 	}
-	c := &weakCell{
+	c := d.allocCell()
+	*c = weakCell{
 		bit:        bit,
 		mu:         mu,
 		sigma:      sigma,
@@ -388,12 +473,26 @@ func (d *Device) sampleRead(c *weakCell, row uint32, now, restoredAt float64) ui
 // draw happens only for probabilities strictly inside (0, 1), so the early
 // exits below skip no draws.
 func (d *Device) sampleReadBit(c *weakCell, written uint8, now, restoredAt float64) uint8 {
+	got, flipped := d.sampleReadBitOn(c, written, now, restoredAt, d.srcFor(c.bit))
+	if flipped {
+		d.noteStuck(c)
+	}
+	return got
+}
+
+// sampleReadBitOn is sampleReadBit against an explicit sampling stream. It
+// mutates only the cell itself (stuck state, VRT advance, neighbourhood-code
+// cache), never device-wide state: bank-sharded sweeps call it concurrently
+// for cells of different banks and commit the stuck-overlay bookkeeping
+// (noteStuck) at the deterministic shard merge. flipped reports that a
+// failure stuck on this read.
+func (d *Device) sampleReadBitOn(c *weakCell, written uint8, now, restoredAt float64, src *rng.Source) (got uint8, flipped bool) {
 	if c.stuck >= 0 {
-		return uint8(c.stuck)
+		return uint8(c.stuck), false
 	}
 	elapsed := now - restoredAt
 	if elapsed <= 0 {
-		return written
+		return written, false
 	}
 	code := d.neighborhoodCodeOf(c)
 	failed := false
@@ -404,21 +503,20 @@ func (d *Device) sampleReadBit(c *weakCell, written uint8, now, restoredAt float
 		k := math.Floor(elapsed / d.autoRef)
 		p := d.clippedFailProb(c, d.autoRef, written, code, now)
 		pStick := -math.Expm1(k * math.Log1p(-p))
-		if d.src.Bernoulli(pStick) {
+		if src.Bernoulli(pStick) {
 			failed = true
 		} else {
 			resid := elapsed - k*d.autoRef
-			failed = d.src.Bernoulli(d.clippedFailProb(c, resid, written, code, now))
+			failed = src.Bernoulli(d.clippedFailProb(c, resid, written, code, now))
 		}
 	} else {
-		failed = d.src.Bernoulli(d.clippedFailProb(c, elapsed, written, code, now))
+		failed = src.Bernoulli(d.clippedFailProb(c, elapsed, written, code, now))
 	}
 	if failed {
-		wrong := written ^ 1
-		d.markStuck(c, wrong)
-		return wrong
+		c.stuck = int8(written ^ 1)
+		return written ^ 1, true
 	}
-	return written
+	return written, false
 }
 
 // clippedFailProb is the per-read failure probability with the zClip
@@ -461,11 +559,23 @@ func (d *Device) clearStuck(row uint32) {
 // This is the bulk operation retention-test passes use; it erases all
 // per-row deviations and stuck failures.
 func (d *Device) WriteAll(data RowData, now float64) {
+	// A rewrite of the identical pattern over undeviated content changes no
+	// stored bit, so the per-cell neighbourhood-code caches keyed on
+	// contentEpoch stay valid — the common steady-state profiling cadence
+	// (same pattern every round) then re-reads cached codes instead of
+	// recomputing them. The identity test needs ==, which only comparable
+	// descriptor types support (patterns are; sliceRowData is not).
+	same := len(d.rows) == 0 && d.bulkComparable && comparableRowData(data) && data == d.bulkData
 	d.bulkData = data
+	d.bulkComparable = comparableRowData(data)
 	d.bulkTime = now
-	d.rows = make(map[uint32]*rowState)
+	if len(d.rows) > 0 {
+		d.rows = make(map[uint32]*rowState)
+	}
 	d.dropStuckList()
-	d.contentEpoch++
+	if !same {
+		d.contentEpoch++
+	}
 }
 
 // ReadCompareAll reads every row at simulated time now, compares the read
@@ -642,6 +752,7 @@ func (d *Device) RestoreContent(snap *ContentSnapshot, now float64) error {
 			len(snap.stuck), len(d.weak))
 	}
 	d.bulkData = snap.bulkData
+	d.bulkComparable = comparableRowData(snap.bulkData)
 	d.bulkTime = now
 	d.rows = make(map[uint32]*rowState, len(snap.rows))
 	for k, rs := range snap.rows {

@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"fmt"
 	"testing"
 
 	"reaper/internal/patterns"
@@ -18,9 +19,11 @@ func benchReadDevice(b *testing.B) *Device {
 }
 
 // BenchmarkReadCompareAll measures one full write/wait/read profiling pass —
-// the innermost loop of every experiment in the repository. The per-op cost
-// is dominated by per-weak-cell sampling: row-state lookup, neighbourhood
-// code reconstruction, and the failure CDF.
+// the innermost loop of every experiment in the repository. The 3-pattern
+// cycle at a fixed cadence revisits sweep signatures, so from the fourth op
+// on this measures the product path with the incremental round cache hot;
+// BenchmarkReadCompareAllFresh is the cache-miss (full classification)
+// counterpart.
 func BenchmarkReadCompareAll(b *testing.B) {
 	d := benchReadDevice(b)
 	ps := []RowData{patterns.Solid1(), patterns.Checkerboard(), patterns.Random(1)}
@@ -49,6 +52,115 @@ func BenchmarkReadCompareAllAutoRefresh(b *testing.B) {
 		now += 2.048
 		_ = d.ReadCompareAll(now)
 		now += 0.5
+	}
+}
+
+// BenchmarkReadCompareAllFresh measures the full-classification sweep: a
+// fresh random pattern every op defeats the round cache, so the per-op cost
+// is the sparse-index cursor, per-candidate threshold tests, DPD hashes, and
+// band sampling.
+func BenchmarkReadCompareAllFresh(b *testing.B) {
+	d := benchReadDevice(b)
+	now := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.WriteAll(patterns.Random(uint64(i)), now)
+		now += 2.048
+		_ = d.ReadCompareAll(now)
+		now += 0.5
+	}
+}
+
+// BenchmarkReadCompareAllSteadyState measures the incremental fast path in
+// isolation: a steady profiling cadence (same pattern, wait, and conditions
+// every round) after one warm-up round, so every timed op replays a cached
+// classification and only the sampling band draws.
+func BenchmarkReadCompareAllSteadyState(b *testing.B) {
+	d := benchReadDevice(b)
+	pat := patterns.Checkerboard()
+	now := 0.0
+	d.WriteAll(pat, now)
+	now += 2.048
+	_ = d.ReadCompareAll(now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.WriteAll(pat, now)
+		now += 2.048
+		_ = d.ReadCompareAll(now)
+	}
+	b.StopTimer()
+	if d.IncrStats().FastSweeps == 0 {
+		b.Fatal("steady-state benchmark never hit the round cache")
+	}
+}
+
+// BenchmarkReadCompareAllBanked measures the full-classification sweep in
+// BankStreams mode at several worker counts. Results are byte-identical
+// across the counts; only the wall clock moves (and only on multi-core
+// hosts — workers cannot beat the machine).
+func BenchmarkReadCompareAllBanked(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			d := testDevice(b, 7, func(c *Config) {
+				c.Geometry = Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256}
+				c.WeakScale = 30
+				c.BankStreams = true
+			})
+			d.SetSweepWorkers(workers)
+			now := 0.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.WriteAll(patterns.Random(uint64(i)), now)
+				now += 2.048
+				_ = d.ReadCompareAll(now)
+				now += 0.5
+			}
+		})
+	}
+}
+
+// BenchmarkNewDevice measures fleet-member construction from the analytic
+// distributions; BenchmarkNewDeviceFromTemplate is the amortized path that
+// replaces the expensive per-cell draws with table picks.
+func BenchmarkNewDevice(b *testing.B) {
+	cfg := Config{
+		Geometry:  Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256},
+		Vendor:    VendorB(),
+		WeakScale: 100,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := NewDevice(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewDeviceFromTemplate measures template-amortized construction at
+// the same density as BenchmarkNewDevice (template build cost excluded: it is
+// paid once per vendor, not per chip).
+func BenchmarkNewDeviceFromTemplate(b *testing.B) {
+	cfg := Config{
+		Geometry:  Geometry{Banks: 8, RowsPerBank: 256, WordsPerRow: 256},
+		Vendor:    VendorB(),
+		WeakScale: 100,
+	}
+	tpl, err := NewPopulationTemplate(cfg, 1<<16, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := NewDeviceFromTemplate(tpl, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -101,14 +101,31 @@ func (d *Device) IndexStats() IndexStats { return d.idx }
 
 // rebuildIndex (re)derives the activation index from the weak population.
 // Ties on key are broken by bit index so the order is fully deterministic.
+// Keys are computed once up front rather than inside the comparator:
+// activationKey is pure, so sorting precomputed (key, cell) pairs yields the
+// same order while keeping the dominant construction sort off the float math.
 func (d *Device) rebuildIndex() {
-	d.actCells = slices.Clone(d.weak)
-	slices.SortFunc(d.actCells, func(a, b *weakCell) int {
-		return cmp.Or(cmp.Compare(activationKey(a), activationKey(b)), cmp.Compare(a.bit, b.bit))
+	type keyedCell struct {
+		key float64
+		c   *weakCell
+	}
+	ks := make([]keyedCell, len(d.weak))
+	for i, c := range d.weak {
+		ks[i] = keyedCell{activationKey(c), c}
+	}
+	slices.SortFunc(ks, func(a, b keyedCell) int {
+		// Lazy tie-break: cmp.Or would dereference both cells on every
+		// comparison; keys almost never tie, so branch first.
+		if r := cmp.Compare(a.key, b.key); r != 0 {
+			return r
+		}
+		return cmp.Compare(a.c.bit, b.c.bit)
 	})
-	d.actKeys = make([]float64, len(d.actCells))
-	for i, c := range d.actCells {
-		d.actKeys[i] = activationKey(c)
+	d.actCells = make([]*weakCell, len(ks))
+	d.actKeys = make([]float64, len(ks))
+	for i, k := range ks {
+		d.actCells[i] = k.c
+		d.actKeys[i] = k.key
 	}
 }
 
@@ -125,11 +142,19 @@ func (d *Device) indexInsert(c *weakCell) {
 
 // markStuck records a retention failure sticking into a cell: the read (or
 // refresh) restored the wrong value, which the cell now returns until
-// rewritten. Every flip site must go through here so the stuck overlay —
-// walked by collecting sweeps in place of a full population scan — stays a
-// superset of the cells with stuck >= 0.
+// rewritten. Every flip site must go through here (or set the cell's stuck
+// value and call noteStuck at a deterministic point, as the bank shards do)
+// so the stuck overlay — walked by collecting sweeps in place of a full
+// population scan — stays a superset of the cells with stuck >= 0.
 func (d *Device) markStuck(c *weakCell, wrong uint8) {
 	c.stuck = int8(wrong)
+	d.noteStuck(c)
+}
+
+// noteStuck performs the device-wide bookkeeping of a failure sticking: the
+// flip counter and the stuck-overlay membership. Bank-sharded sweeps defer it
+// to the shard merge so concurrent shards never touch shared state.
+func (d *Device) noteStuck(c *weakCell) {
 	d.flipsSoFar++
 	if !c.inStuckList {
 		c.inStuckList = true
@@ -158,7 +183,7 @@ func (d *Device) dropStuckList() {
 // cells provably consume no draws, so the seed stream advances exactly as
 // the dense per-cell walk advanced it.
 func (d *Device) sweep(now float64, collect bool) []uint64 {
-	var fails []uint64
+	fails := d.failScratch[:0]
 	elapsed := now - d.bulkTime
 	scale := d.vend.muTempScale(d.tempC)
 	// eff is the largest elapsed value any failure probability is evaluated
@@ -199,6 +224,49 @@ func (d *Device) sweep(now float64, collect bool) []uint64 {
 		d.stuckList = live
 	}
 
+	if d.bankSrcs != nil {
+		// Logical shard accounting: a banked sweep partitions into one shard
+		// per bank regardless of how many workers execute them, so the
+		// counters are worker-count invariant like every other series.
+		d.bank.BankedSweeps++
+		d.bank.BankShards += uint64(d.geom.Banks)
+	}
+
+	if e := d.lookupRound(elapsed); e != nil {
+		fails = d.sweepFromCache(e, now, scale, eff, collect, fails)
+	} else {
+		fails = d.sweepClassify(now, elapsed, scale, eff, collect, fails)
+	}
+
+	// Every row has now been read out and restored. Rows whose record holds
+	// no content deviation are now indistinguishable from the bulk state
+	// (restoredAt == bulkTime, bulk content), so dropping them restores the
+	// no-deviation fast path for subsequent sweeps.
+	d.bulkTime = now
+	for r, rs := range d.rows {
+		if rs.data == nil && rs.overrides == nil {
+			delete(d.rows, r)
+			continue
+		}
+		rs.restoredAt = now
+	}
+	d.readsDone++
+	var out []uint64
+	if collect && len(fails) > 0 {
+		slices.Sort(fails)
+		out = make([]uint64, len(fails))
+		copy(out, fails)
+	}
+	d.failScratch = fails[:0] // keep the accumulator capacity for the next sweep
+	return out
+}
+
+// sweepClassify is the full classification path of a sweep: binary-search
+// the activation index, classify every candidate, then sample the surviving
+// band merged with the deviant rows. When the device state allows it, the
+// classification is also recorded as a round-cache entry so the next sweep
+// at this exact signature can skip straight to the band (incremental.go).
+func (d *Device) sweepClassify(now, elapsed, scale, eff float64, collect bool, fails []uint64) []uint64 {
 	// Binary-search the activation index to the active band: cells with
 	// key*scale > eff are deterministically p = 0 at every window this sweep
 	// evaluates and are never touched.
@@ -207,7 +275,28 @@ func (d *Device) sweep(now float64, collect bool) []uint64 {
 		k = sort.Search(len(d.actKeys), func(i int) bool { return d.actKeys[i]*scale > eff })
 	}
 	d.idx.Skipped += uint64(len(d.actKeys) - k)
+	d.incr.FullSweeps++
 
+	var e *roundEntry
+	if d.roundCacheable() {
+		e = &roundEntry{skipped: uint64(len(d.actKeys) - k), dirtyLen: len(d.dirtyCells)}
+	}
+	if d.shardedMode() {
+		fails = d.classifySharded(now, scale, eff, k, collect, fails, e)
+	} else {
+		fails = d.classifySeq(now, scale, eff, k, collect, fails, e)
+	}
+	if e != nil {
+		d.storeRound(roundKey{data: d.bulkData, tempC: d.tempC, elapsed: elapsed, autoRef: d.autoRef}, e)
+	}
+	return fails
+}
+
+// classifySeq is the single-goroutine classification and sampling walk. In
+// BankStreams mode it is byte-identical to classifySharded at any worker
+// count: the global bit-order walk visits each bank's cells in bit order,
+// and srcFor routes every draw to the owning bank's stream.
+func (d *Device) classifySeq(now, scale, eff float64, k int, collect bool, fails []uint64, e *roundEntry) []uint64 {
 	// Classify the candidates (key order; no draws happen here). Non-VRT
 	// bulk-context cells are re-tested with clippedFailProb's exact
 	// expressions: p = 0 skips, p = 1 flips via the index — both without a
@@ -233,6 +322,9 @@ func (d *Device) sweep(now float64, collect bool) []uint64 {
 		written := uint8(d.bulkData.Word(row, a.Word) >> uint(a.Bit) & 1)
 		if written != c.chargedVal {
 			d.idx.Skipped++ // storing the discharged value: leakage-immune
+			if e != nil {
+				e.skipped++
+			}
 			continue
 		}
 		code := d.neighborhoodCodeOf(c)
@@ -240,6 +332,9 @@ func (d *Device) sweep(now float64, collect bool) []uint64 {
 		sigma := c.sigma * scale
 		if eff < mu-zClip*sigma {
 			d.idx.Skipped++
+			if e != nil {
+				e.skipped++
+			}
 			continue
 		}
 		if eff > mu+zClip*sigma {
@@ -249,6 +344,9 @@ func (d *Device) sweep(now float64, collect bool) []uint64 {
 			// consumes a draw, so flipping here is seed-stream identical.
 			d.markStuck(c, written^1)
 			d.idx.Flipped++
+			if e != nil {
+				e.flips = append(e.flips, flipRec{c, written ^ 1})
+			}
 			if collect {
 				fails = append(fails, c.bit)
 			}
@@ -258,6 +356,9 @@ func (d *Device) sweep(now float64, collect bool) []uint64 {
 	}
 	slices.SortFunc(band, func(a, b *weakCell) int { return cmp.Compare(a.bit, b.bit) })
 	d.idx.Sampled += uint64(len(band))
+	if e != nil {
+		e.band = append(e.band, band...)
+	}
 
 	// Bit-ordered merge of the band (bulk content, bulk restore time) with
 	// the deviant rows (per-row content, overrides and restore times — the
@@ -309,22 +410,5 @@ func (d *Device) sweep(now float64, collect bool) []uint64 {
 	}
 	sampleBandBelow(math.MaxUint64)
 	d.band = band[:0] // keep the scratch capacity for the next sweep
-
-	// Every row has now been read out and restored. Rows whose record holds
-	// no content deviation are now indistinguishable from the bulk state
-	// (restoredAt == bulkTime, bulk content), so dropping them restores the
-	// no-deviation fast path for subsequent sweeps.
-	d.bulkTime = now
-	for r, rs := range d.rows {
-		if rs.data == nil && rs.overrides == nil {
-			delete(d.rows, r)
-			continue
-		}
-		rs.restoredAt = now
-	}
-	d.readsDone++
-	if collect {
-		slices.Sort(fails)
-	}
 	return fails
 }

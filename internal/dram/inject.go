@@ -80,7 +80,8 @@ func (d *Device) newInjectedCell(src *rng.Source, bit uint64, maxMuSeconds float
 		u := src.Float64()
 		sens = v.DPDStrength * u * u
 	}
-	return &weakCell{
+	c := d.allocCell()
+	*c = weakCell{
 		bit:        bit,
 		mu:         mu,
 		sigma:      sigma,
@@ -89,11 +90,13 @@ func (d *Device) newInjectedCell(src *rng.Source, bit uint64, maxMuSeconds float
 		dpdSeed:    src.Uint64(),
 		stuck:      -1,
 	}
+	return c
 }
 
 // insertWeakCell places c into the sorted weak slice at index i, into its
 // row's cell list (preserving bit order in both), and into the activation
-// index (preserving key order).
+// index (preserving key order). The cell also joins the round-cache dirty
+// list so live cached classifications fold it in on their next hit.
 func (d *Device) insertWeakCell(c *weakCell, i int) {
 	d.weak = slices.Insert(d.weak, i, c)
 	row := d.geom.rowOfBit(c.bit)
@@ -101,6 +104,7 @@ func (d *Device) insertWeakCell(c *weakCell, i int) {
 	j := sort.Search(len(cells), func(j int) bool { return cells[j].bit >= c.bit })
 	d.byRow[row] = slices.Insert(cells, j, c)
 	d.indexInsert(c)
+	d.noteDirtyCell(c)
 }
 
 // ForceVRTLowBurst forces up to n VRT cells that are currently in their
@@ -168,6 +172,12 @@ func (d *Device) RescrambleDPD(src *rng.Source, n int) []uint64 {
 		bits = append(bits, c.bit)
 	}
 	slices.Sort(bits)
+	// dpdSeed feeds the classification threshold hash, so cached round
+	// classifications may silently be wrong for the rescrambled cells: drop
+	// them all (the only injection hook that must).
+	if len(bits) > 0 {
+		d.invalidateRounds()
+	}
 	return bits
 }
 

@@ -1,0 +1,194 @@
+package dram
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+
+	"reaper/internal/rng"
+)
+
+// This file implements shared population templates for fleet-scale device
+// construction. NewDevice spends nearly all of its time drawing per-cell
+// (mu, sigma, dpdSens) tuples from the vendor distributions — power-law,
+// lognormal and quadratic transforms per cell. A fleet of simulated chips
+// from one vendor redraws the same distributions thousands of times over; a
+// PopulationTemplate pre-draws a large tuple table once, and each device
+// then samples its population by picking tuples uniformly from the table
+// (the empirical distribution), keeping only the cheap per-cell draws — bit
+// placement, charged value, DPD seed, VRT state — on the device stream.
+//
+// Template-built devices are deterministic in (template, Config.Seed) but
+// are NOT draw-for-draw identical to NewDevice with the same seed: the
+// empirical table stands in for the analytic distributions. Use them where
+// construction cost dominates and chips only need to be statistically
+// faithful and mutually independent (population sweeps, fleet benchmarks) —
+// not in the pinned seed-stability experiments.
+
+// PopulationTemplate is an immutable pre-drawn table of per-cell parameter
+// tuples for one vendor and retention domain. Safe for concurrent use by any
+// number of NewDeviceFromTemplate calls once built.
+type PopulationTemplate struct {
+	vend       VendorParams
+	tmin, tmax float64
+	disableDPD bool
+
+	mus, sigmas, sens []float64
+}
+
+// NewPopulationTemplate draws a size-entry tuple table from the vendor
+// distributions of cfg (vendor, retention domain, DisableDPD are consulted;
+// the rest of cfg is ignored) using a stream derived from seed. Larger
+// tables approximate the analytic distributions more closely; a few thousand
+// entries per expected weak cell count is plenty.
+func NewPopulationTemplate(cfg Config, size int, seed uint64) (*PopulationTemplate, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("dram: template size %d must be positive", size)
+	}
+	v := cfg.Vendor
+	tpl := &PopulationTemplate{
+		vend:       v,
+		tmin:       cfg.MinRetention,
+		tmax:       cfg.MaxRetention,
+		disableDPD: cfg.DisableDPD,
+		mus:        make([]float64, size),
+		sigmas:     make([]float64, size),
+		sens:       make([]float64, size),
+	}
+	src := rng.New(seed)
+	for i := 0; i < size; i++ {
+		mu := powerLawSample(src, tpl.tmin, tpl.tmax, v.BERExponent)
+		sigma := src.LogNormal(math.Log(v.SigmaLogMedianMS/1000), v.SigmaLogSigma)
+		if sigmaCap := mu / 5; sigma > sigmaCap {
+			sigma = sigmaCap
+		}
+		s := 0.0
+		if !cfg.DisableDPD {
+			u := src.Float64()
+			s = v.DPDStrength * u * u
+		}
+		tpl.mus[i] = mu
+		tpl.sigmas[i] = sigma
+		tpl.sens[i] = s
+	}
+	return tpl, nil
+}
+
+// Size returns the number of tuples in the table.
+func (t *PopulationTemplate) Size() int { return len(t.mus) }
+
+// NewDeviceFromTemplate builds a device whose base weak cells sample their
+// (mu, sigma, dpdSens) tuples from the template instead of the analytic
+// distributions. cfg must agree with the template on vendor, retention
+// domain, and DisableDPD; every other field (geometry, seed, weak scale,
+// temperature, BankStreams) is free, which is how a fleet shares one
+// template across distinct chips.
+func NewDeviceFromTemplate(tpl *PopulationTemplate, cfg Config) (*Device, error) {
+	if tpl == nil {
+		return nil, fmt.Errorf("dram: nil population template")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Vendor != tpl.vend || cfg.MinRetention != tpl.tmin ||
+		cfg.MaxRetention != tpl.tmax || cfg.DisableDPD != tpl.disableDPD {
+		return nil, fmt.Errorf("dram: config (vendor %s, domain [%v, %v], DPD %v) does not match template (vendor %s, domain [%v, %v], DPD %v)",
+			cfg.Vendor.Name, cfg.MinRetention, cfg.MaxRetention, !cfg.DisableDPD,
+			tpl.vend.Name, tpl.tmin, tpl.tmax, !tpl.disableDPD)
+	}
+	d := newDeviceShell(cfg)
+	d.samplePopulationFromTemplate(tpl)
+	return d, nil
+}
+
+// samplePopulationFromTemplate mirrors sampleWeakPopulation with the base
+// cells' expensive distribution draws replaced by uniform tuple picks. The
+// latent VRT reservoir is small (a rate times a dwell, not a BER times a
+// capacity), so it keeps the exact analytic sampling.
+func (d *Device) samplePopulationFromTemplate(tpl *PopulationTemplate) {
+	v := &d.vend
+	bits := float64(d.geom.TotalBits())
+	tmin, tmax := d.cfg.MinRetention, d.cfg.MaxRetention
+
+	expected := bits * v.BER(tmax, RefTempC) * d.cfg.WeakScale
+	n := d.src.Poisson(expected)
+	taken := make(map[uint64]struct{}, n)
+	size := uint64(tpl.Size())
+	for i := 0; i < n; i++ {
+		j := d.src.Uint64n(size)
+		vrt := !d.cfg.DisableVRT && d.src.Bernoulli(v.VRTFraction)
+		d.addTemplateCell(taken, tpl.mus[j], tpl.sigmas[j], tpl.sens[j], vrt)
+	}
+
+	if !d.cfg.DisableVRT {
+		vrtMax := tmax
+		if vrtMax > vrtDomainMaxS {
+			vrtMax = vrtDomainMaxS
+		}
+		dwellSum := v.VRTDwellLowHours + v.VRTDwellHighHours // hours
+		latent := v.VRTRate(vrtMax, RefTempC, d.geom.TotalBytes()) * dwellSum * d.cfg.WeakScale
+		m := d.src.Poisson(latent)
+		for i := 0; i < m; i++ {
+			muLow := d.samplePowerLaw(tmin, vrtMax, v.VRTRateExponent)
+			d.addWeakCell(taken, muLow, true, tmax*10)
+		}
+	}
+
+	slices.SortFunc(d.weak, func(a, b *weakCell) int { return cmp.Compare(a.bit, b.bit) })
+	for _, c := range d.weak {
+		r := d.geom.rowOfBit(c.bit)
+		d.byRow[r] = append(d.byRow[r], c)
+	}
+	d.rebuildIndex()
+}
+
+// addTemplateCell is addWeakCell with (mu, sigma, dpdSens) already in hand
+// from a template tuple: only the per-cell identity draws — bit placement,
+// charged value, DPD seed, VRT state — come from the device stream.
+func (d *Device) addTemplateCell(taken map[uint64]struct{}, mu, sigma, sens float64, vrt bool) {
+	var bit uint64
+	for {
+		bit = d.src.Uint64n(uint64(d.geom.TotalBits()))
+		if _, dup := taken[bit]; !dup {
+			taken[bit] = struct{}{}
+			break
+		}
+	}
+	c := d.allocCell()
+	*c = weakCell{
+		bit:        bit,
+		mu:         mu,
+		sigma:      sigma,
+		chargedVal: uint8(d.src.Intn(2)),
+		dpdSens:    sens,
+		dpdSeed:    d.src.Uint64(),
+		stuck:      -1,
+	}
+	if vrt {
+		vs := &vrtState{
+			muLow:     mu,
+			muHigh:    mu * (3 + 5*d.src.Float64()),
+			dwellLow:  d.src.Exp(d.vend.VRTDwellLowHours) * 3600,
+			dwellHigh: d.src.Exp(d.vend.VRTDwellHighHours) * 3600,
+			src:       d.src.Split(bit),
+		}
+		if vs.dwellLow < 600 {
+			vs.dwellLow = 600
+		}
+		if vs.dwellHigh < 600 {
+			vs.dwellHigh = 600
+		}
+		vs.inLow = vs.src.Bernoulli(vs.dwellLow / (vs.dwellLow + vs.dwellHigh))
+		mean := vs.dwellHigh
+		if vs.inLow {
+			mean = vs.dwellLow
+		}
+		vs.nextSwitch = vs.src.Exp(mean)
+		c.vrt = vs
+	}
+	d.weak = append(d.weak, c)
+}

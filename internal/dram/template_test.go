@@ -1,0 +1,145 @@
+package dram
+
+import (
+	"slices"
+	"testing"
+
+	"reaper/internal/patterns"
+)
+
+// TestTemplateDeterministic pins that template-built devices are a pure
+// function of (template, config): two devices from the same template and seed
+// must have identical populations, sweep results, and seed-stream positions.
+func TestTemplateDeterministic(t *testing.T) {
+	cfg := sparseTestConfig(9)
+	tpl, err := NewPopulationTemplate(cfg, 4096, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewDeviceFromTemplate(tpl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDeviceFromTemplate(tpl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WeakCellCount() != b.WeakCellCount() {
+		t.Fatalf("population sizes diverged: %d vs %d", a.WeakCellCount(), b.WeakCellCount())
+	}
+	for i := range a.weak {
+		ac, bc := a.weak[i], b.weak[i]
+		if ac.bit != bc.bit || ac.mu != bc.mu || ac.sigma != bc.sigma ||
+			ac.dpdSens != bc.dpdSens || ac.dpdSeed != bc.dpdSeed || ac.chargedVal != bc.chargedVal {
+			t.Fatalf("cell %d diverged between identically seeded template devices", i)
+		}
+	}
+	now := 0.0
+	a.WriteAll(patterns.Checkerboard(), now)
+	b.WriteAll(patterns.Checkerboard(), now)
+	for i := 0; i < 5; i++ {
+		now += 2.048
+		if !slices.Equal(a.ReadCompareAll(now), b.ReadCompareAll(now)) {
+			t.Fatalf("sweep %d diverged between identically seeded template devices", i)
+		}
+	}
+	if av, bv := a.src.Uint64(), b.src.Uint64(); av != bv {
+		t.Fatalf("seed streams diverged: %#x vs %#x", av, bv)
+	}
+}
+
+// TestTemplateFleetIndependence checks distinct seeds against one shared
+// template give distinct chips: different populations, drawn concurrently
+// safe (the template is read-only after construction).
+func TestTemplateFleetIndependence(t *testing.T) {
+	cfg := sparseTestConfig(1)
+	tpl, err := NewPopulationTemplate(cfg, 4096, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make(map[uint64]int)
+	total := 0
+	for seed := uint64(1); seed <= 4; seed++ {
+		c := cfg
+		c.Seed = seed
+		d, err := NewDeviceFromTemplate(tpl, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.WeakCellCount() == 0 {
+			t.Fatalf("seed %d: empty population", seed)
+		}
+		total += d.WeakCellCount()
+		for _, c := range d.weak {
+			bits[c.bit]++
+		}
+	}
+	// Populations must not be clones of each other: the overwhelming majority
+	// of bit positions should be unique to one chip.
+	if len(bits) < total*3/4 {
+		t.Fatalf("fleet populations overlap too much: %d distinct bits from %d cells", len(bits), total)
+	}
+}
+
+// TestTemplateStatisticalFidelity compares the weak-population statistics of
+// template-built devices against NewDevice over a handful of seeds: counts in
+// the same Poisson regime and retention means inside the configured domain.
+func TestTemplateStatisticalFidelity(t *testing.T) {
+	cfg := sparseTestConfig(1)
+	tpl, err := NewPopulationTemplate(cfg, 8192, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analytic, templated int
+	for seed := uint64(1); seed <= 6; seed++ {
+		c := cfg
+		c.Seed = seed
+		da, err := NewDevice(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt, err := NewDeviceFromTemplate(tpl, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic += da.WeakCellCount()
+		templated += dt.WeakCellCount()
+		for _, cell := range dt.weak {
+			if cell.mu <= 0 {
+				t.Fatalf("seed %d: non-positive retention mean %v", seed, cell.mu)
+			}
+			if cell.sigma > cell.mu/5*1.0000001 {
+				t.Fatalf("seed %d: sigma %v above cap for mu %v", seed, cell.sigma, cell.mu)
+			}
+		}
+	}
+	if templated < analytic/2 || templated > analytic*2 {
+		t.Fatalf("template population count %d implausible vs analytic %d", templated, analytic)
+	}
+}
+
+// TestTemplateConfigMismatch checks the template refuses configs it was not
+// drawn for: vendor, retention domain, and DPD ablation must all agree.
+func TestTemplateConfigMismatch(t *testing.T) {
+	cfg := sparseTestConfig(1)
+	tpl, err := NewPopulationTemplate(cfg, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Vendor = VendorA()
+	if _, err := NewDeviceFromTemplate(tpl, bad); err == nil {
+		t.Fatal("vendor mismatch accepted")
+	}
+	bad = cfg
+	bad.DisableDPD = true
+	if _, err := NewDeviceFromTemplate(tpl, bad); err == nil {
+		t.Fatal("DPD ablation mismatch accepted")
+	}
+	if _, err := NewDeviceFromTemplate(nil, cfg); err == nil {
+		t.Fatal("nil template accepted")
+	}
+	if _, err := NewPopulationTemplate(cfg, 0, 1); err == nil {
+		t.Fatal("zero-size template accepted")
+	}
+}

@@ -191,3 +191,27 @@ func Do(ctx context.Context, workers int, fns ...func(ctx context.Context) error
 		return fns[i](ctx)
 	})
 }
+
+// ShardLoop runs fn(i) for i in [0, n) on at most workers goroutines and
+// waits for all of them: the inner-loop variant of ForEach for shards with no
+// error path of their own (e.g. the per-bank halves of one device sweep).
+// Each shard must own disjoint state, and the caller must merge shard results
+// in shard order, so the outcome is identical at every worker count. A panic
+// inside a shard is re-raised on the caller's goroutine, exactly as the
+// sequential loop would have propagated it.
+func ShardLoop(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	// Shards run microsecond-scale device steps below the layers that carry
+	// a ctx; cancellation happens at experiment granularity above them.
+	//lint:ignore ctx-first inner-loop shard dispatch; cancellation is experiment-granular above the device layer
+	err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) error {
+		fn(i)
+		return nil
+	})
+	if err != nil {
+		//lint:ignore no-panic re-raises a shard panic the equivalent sequential loop would have propagated
+		panic(err)
+	}
+}
