@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-go bench-parallel benchdiff soak-quick lint lint-fixtures
+.PHONY: all build vet test race check bench bench-go bench-parallel benchdiff soak-quick soak-resume-quick lint lint-fixtures
 
 all: check
 
@@ -27,6 +27,24 @@ race:
 soak-quick:
 	$(GO) run ./cmd/soak -quick -seed 1 -out /dev/null
 
+# soak-resume-quick is the crash-safe-resume drill (DESIGN.md section 8):
+# run the quick soak with checkpointing and stop at the first barrier
+# (exit 4, resumable interrupt), resume it, and require the resumed report
+# to be byte-identical to an uninterrupted run of the same seed.
+RESUME_DIR := /tmp/reaper-resume-quick
+soak-resume-quick:
+	rm -rf $(RESUME_DIR) && mkdir -p $(RESUME_DIR)
+	$(GO) build -o $(RESUME_DIR)/soak ./cmd/soak
+	$(RESUME_DIR)/soak -quick -seed 1 -out $(RESUME_DIR)/ref.json
+	$(RESUME_DIR)/soak -quick -seed 1 -checkpoint-dir $(RESUME_DIR)/ckpt \
+		-checkpoint-every 8 -stop-after-checkpoints 1 -out /dev/null; \
+		status=$$?; test $$status -eq 4 || \
+		{ echo "soak-resume-quick: want exit 4 (resumable interrupt), got $$status"; exit 1; }
+	$(RESUME_DIR)/soak -quick -seed 1 -checkpoint-dir $(RESUME_DIR)/ckpt \
+		-checkpoint-every 8 -resume -out $(RESUME_DIR)/resumed.json
+	cmp $(RESUME_DIR)/ref.json $(RESUME_DIR)/resumed.json
+	@echo "soak-resume-quick: resumed report byte-identical to uninterrupted run"
+
 # lint runs reaperlint, the repo's own determinism-and-safety analyzer suite
 # (see DESIGN.md "Invariants"). Exits non-zero on any unsuppressed finding.
 lint:
@@ -37,7 +55,7 @@ lint:
 lint-fixtures:
 	$(GO) test -short ./internal/lint
 
-check: build vet lint race soak-quick
+check: build vet lint race soak-quick soak-resume-quick
 
 # bench regenerates BENCH_device.json: the device read-path microbenchmarks
 # (ReadCompareAll / RestoreAll) at three weak-cell densities, with the

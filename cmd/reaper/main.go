@@ -3,7 +3,8 @@
 // profiling (the paper's contribution), reporting coverage, false positive
 // rate, runtime, and the implied profile longevity under SECDED ECC.
 //
-// Exit status: 0 on success, 2 on configuration or runtime errors.
+// Exit status (uniform across the reaper tools, see OBSERVABILITY.md):
+// 0 on success, 2 on configuration or runtime errors.
 //
 // Usage:
 //
@@ -19,13 +20,16 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"reaper"
+	"reaper/internal/checkpoint"
 	"reaper/internal/ecc"
+	"reaper/internal/exitcode"
 	"reaper/internal/longevity"
 	"reaper/internal/parallel"
 	"reaper/internal/telemetry"
@@ -56,11 +60,11 @@ func run() int {
 
 	if *workers < 1 {
 		log.Printf("reaper: -workers must be >= 1 (got %d)", *workers)
-		return 2
+		return exitcode.ConfigError
 	}
 	if *chips < 1 {
 		log.Printf("reaper: -chips must be >= 1 (got %d)", *chips)
-		return 2
+		return exitcode.ConfigError
 	}
 
 	var vendor reaper.VendorParams
@@ -73,7 +77,7 @@ func run() int {
 		vendor = reaper.VendorC()
 	default:
 		log.Printf("reaper: unknown vendor %q; valid vendors: A, B, C", *vendorName)
-		return 2
+		return exitcode.ConfigError
 	}
 
 	var reg *telemetry.Registry
@@ -86,7 +90,7 @@ func run() int {
 		srv, err := telemetry.StartServer(*pprofAddr, reg)
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "reaper: pprof and /metrics on http://%s\n", srv.Addr())
@@ -95,7 +99,7 @@ func run() int {
 		stop, err := telemetry.StartCPUProfile(*cpuprofile)
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 		defer func() {
 			if err := stop(); err != nil {
@@ -116,7 +120,7 @@ func run() int {
 		mod, err := reaper.NewModule(*chips, cfg)
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 		mod.SetWorkers(*workers)
 		mod.SetTelemetry(reg)
@@ -128,7 +132,7 @@ func run() int {
 		station, err := reaper.NewStation(cfg)
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 		fmt.Printf("chip: %v, vendor %s, %d modelled weak cells\n",
 			station.Device().Geometry(), vendor.Name, station.Device().WeakCellCount())
@@ -160,12 +164,12 @@ func run() int {
 	})
 	if err != nil {
 		log.Println(err)
-		return 2
+		return exitcode.ConfigError
 	}
 	truth, err := truthAt(target, reaper.RefTempC)
 	if err != nil {
 		log.Println(err)
-		return 2
+		return exitcode.ConfigError
 	}
 	cov := reaper.Coverage(res.Failures, truth)
 	fpr := reaper.FalsePositiveRate(res.Failures, truth)
@@ -197,47 +201,41 @@ func run() int {
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, reg); err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, tracer); err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	}
 	if *heapprofile != "" {
 		if err := telemetry.WriteHeapProfile(*heapprofile); err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	}
-	return 0
+	return exitcode.OK
 }
 
-// writeMetrics serializes the registry snapshot to path.
+// writeMetrics serializes the registry snapshot to path atomically, so a
+// crash mid-write never leaves a truncated artifact behind.
 func writeMetrics(path string, reg *telemetry.Registry) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
 		return err
 	}
-	err = reg.Snapshot().WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return checkpoint.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
-// writeTrace serializes the tracer's events to path as JSONL, stamped with
-// the profiler source.
+// writeTrace serializes the tracer's events to path as JSONL atomically,
+// stamped with the profiler source.
 func writeTrace(path string, tracer *telemetry.Tracer) error {
-	f, err := os.Create(path)
+	var buf bytes.Buffer
+	err := telemetry.WriteJSONL(&buf, telemetry.Merge(telemetry.Trace{Source: "profiler", Events: tracer.Events()}))
 	if err != nil {
 		return err
 	}
-	err = telemetry.WriteJSONL(f, telemetry.Merge(telemetry.Trace{Source: "profiler", Events: tracer.Events()}))
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return checkpoint.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }

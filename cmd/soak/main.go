@@ -3,16 +3,31 @@
 // firmware resilience controller defending the ECC budget (or not, with
 // -baseline), and emits a JSON survival report.
 //
-// Exit status: 0 when every chip's cumulative UBER stays within -max-uber,
-// 1 when the fleet violates it, 2 on configuration or runtime errors.
+// Exit status (uniform across the reaper tools, see OBSERVABILITY.md):
+// 0 when every chip's cumulative UBER stays within -max-uber, 1 when the
+// fleet violates it, 2 on configuration or runtime errors, 3 when the
+// campaign completed but one or more chip shards were quarantined after
+// exhausting -shard-attempts (the report covers the surviving chips and
+// sets partial_coverage), 4 when a checkpointed campaign was interrupted
+// (SIGINT/SIGTERM or -stop-after-checkpoints) at a segment barrier — the
+// checkpoint directory holds a complete snapshot; rerun with -resume.
 //
 // Usage:
 //
 //	soak [-chips N] [-hours H] [-window H] [-seed S] [-workers N]
 //	     [-target ms] [-max-uber F] [-baseline] [-quick]
 //	     [-scenario default|quiet|harsh] [-out file.json]
+//	     [-checkpoint-dir dir] [-resume] [-checkpoint-every N]
+//	     [-stop-after-checkpoints N] [-shard-attempts N]
 //	     [-metrics-out file.json] [-trace-out file.jsonl]
 //	     [-pprof-addr host:port] [-cpuprofile file] [-heapprofile file]
+//
+// -checkpoint-dir enables crash-safe execution: the campaign state is
+// snapshotted atomically every -checkpoint-every scrub windows, SIGINT and
+// SIGTERM finish the in-flight segment, save a final checkpoint, and exit
+// with status 4, and -resume continues a prior campaign from its newest
+// intact checkpoint — the final report is byte-identical to an
+// uninterrupted run (see DESIGN.md section 8).
 //
 // -metrics-out and -trace-out opt the campaign into the deterministic
 // telemetry layer (see OBSERVABILITY.md): the metrics snapshot is
@@ -22,15 +37,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
+	"reaper/internal/checkpoint"
+	"reaper/internal/exitcode"
 	"reaper/internal/experiments"
 	"reaper/internal/faultinject"
 	"reaper/internal/parallel"
@@ -95,6 +116,16 @@ func run() int {
 	scenario := flag.String("scenario", "default",
 		"named fault scenario: "+scenarioNames())
 	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"enable crash-safe checkpointing into this directory")
+	resume := flag.Bool("resume", false,
+		"resume the campaign from the newest intact checkpoint in -checkpoint-dir")
+	checkpointEvery := flag.Int("checkpoint-every", experiments.DefaultCheckpointEveryWindows,
+		"scrub windows between checkpoint barriers")
+	stopAfter := flag.Int("stop-after-checkpoints", 0,
+		"stop with a resumable exit after saving N checkpoints in this process (0 = run to completion; for drills and tests)")
+	shardAttempts := flag.Int("shard-attempts", 0,
+		"attempts per chip shard before quarantining it (0 = first failure aborts the campaign)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics snapshot (JSON) to this file")
 	traceOut := flag.String("trace-out", "", "write the merged trace timeline (JSONL) to this file")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
@@ -104,12 +135,20 @@ func run() int {
 
 	if *workers < 1 {
 		log.Printf("soak: -workers must be >= 1 (got %d)", *workers)
-		return 2
+		return exitcode.ConfigError
 	}
 	mkScenario, ok := scenarios[*scenario]
 	if !ok {
 		log.Printf("soak: unknown scenario %q; valid scenarios: %s", *scenario, scenarioNames())
-		return 2
+		return exitcode.ConfigError
+	}
+	if *resume && *checkpointDir == "" {
+		log.Printf("soak: -resume requires -checkpoint-dir")
+		return exitcode.ConfigError
+	}
+	if *shardAttempts < 0 {
+		log.Printf("soak: -shard-attempts must be >= 0 (got %d)", *shardAttempts)
+		return exitcode.ConfigError
 	}
 
 	var reg *telemetry.Registry
@@ -120,7 +159,7 @@ func run() int {
 		srv, err := telemetry.StartServer(*pprofAddr, reg)
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "soak: pprof and /metrics on http://%s\n", srv.Addr())
@@ -129,7 +168,7 @@ func run() int {
 		stop, err := telemetry.StartCPUProfile(*cpuprofile)
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 		defer func() {
 			if err := stop(); err != nil {
@@ -154,11 +193,35 @@ func run() int {
 		cfg.Chips = 2
 		cfg.Hours = 48
 	}
+	if *shardAttempts > 0 {
+		cfg.ShardPolicy = parallel.RetryPolicy{Attempts: *shardAttempts}
+	}
+	if *checkpointDir != "" {
+		// SIGINT/SIGTERM request a graceful stop through a separate signal
+		// context: the in-flight segment completes, the final checkpoint is
+		// saved at the barrier, and only then does the campaign return
+		// ErrInterrupted. The run context stays uncancelled so no shard is
+		// aborted mid-window.
+		sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		cfg.Checkpoint = &experiments.CheckpointOptions{
+			Dir:               *checkpointDir,
+			EveryWindows:      *checkpointEvery,
+			Resume:            *resume,
+			StopAfterSegments: *stopAfter,
+			ShouldStop:        func() bool { return sigCtx.Err() != nil },
+		}
+	}
 
 	rep, err := experiments.Soak(context.Background(), cfg)
+	if errors.Is(err, experiments.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "soak: interrupted; checkpoint saved in %s; rerun with -resume to continue\n",
+			*checkpointDir)
+		return exitcode.Interrupted
+	}
 	if err != nil {
 		log.Println(err)
-		return 2
+		return exitcode.ConfigError
 	}
 
 	controller := "resilience controller ON"
@@ -174,9 +237,16 @@ func run() int {
 			c.Chip, c.UBER, rep.MaxUBER, c.ViolationWindows, c.Windows,
 			c.Rounds, c.EarlyRounds, c.Aborts, c.FinalIntervalMs, c.ExtendedFraction*100)
 	}
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(os.Stderr, "  chip %d QUARANTINED after %d attempts: %s\n",
+			q.Chip, q.Attempts, q.Reason)
+	}
 	verdict := "SURVIVED"
 	if !rep.Survived {
 		verdict = "VIOLATED"
+	}
+	if rep.PartialCoverage {
+		verdict += " (partial coverage)"
 	}
 	fmt.Fprintf(os.Stderr, "fleet %s: worst UBER %.3g vs budget %.3g, %.0f%% mean time at extended interval\n",
 		verdict, rep.WorstUBER, rep.MaxUBER, rep.MeanExtendedFraction*100)
@@ -184,51 +254,50 @@ func run() int {
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Println(err)
-		return 2
+		return exitcode.ConfigError
 	}
 	enc = append(enc, '\n')
 	if *out != "" {
-		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		if err := checkpoint.WriteFileAtomic(*out, enc, 0o644); err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	} else {
 		os.Stdout.Write(enc)
 	}
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
+		var buf bytes.Buffer
+		err := rep.Telemetry.WriteJSON(&buf)
 		if err == nil {
-			err = rep.Telemetry.WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
+			err = checkpoint.WriteFileAtomic(*metricsOut, buf.Bytes(), 0o644)
 		}
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+		var buf bytes.Buffer
+		err := telemetry.WriteJSONL(&buf, rep.TraceEvents)
 		if err == nil {
-			err = telemetry.WriteJSONL(f, rep.TraceEvents)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
+			err = checkpoint.WriteFileAtomic(*traceOut, buf.Bytes(), 0o644)
 		}
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	}
 	if *heapprofile != "" {
 		if err := telemetry.WriteHeapProfile(*heapprofile); err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	}
 	if !rep.Survived {
-		return 1
+		return exitcode.Violated
 	}
-	return 0
+	if rep.PartialCoverage {
+		return exitcode.PartialCoverage
+	}
+	return exitcode.OK
 }

@@ -3,7 +3,8 @@
 // Δ temperature) reach conditions scored for coverage, false positive rate,
 // and profiling runtime relative to brute force.
 //
-// Exit status: 0 on success, 2 on configuration or runtime errors.
+// Exit status (uniform across the reaper tools, see OBSERVABILITY.md):
+// 0 on success, 2 on configuration or runtime errors.
 //
 // Usage:
 //
@@ -17,13 +18,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"reaper/internal/checkpoint"
 	"reaper/internal/core"
+	"reaper/internal/exitcode"
 	"reaper/internal/experiments"
 	"reaper/internal/parallel"
 	"reaper/internal/telemetry"
@@ -46,7 +50,7 @@ func run() int {
 
 	if *workers < 1 {
 		log.Printf("tradeoff: -workers must be >= 1 (got %d)", *workers)
-		return 2
+		return exitcode.ConfigError
 	}
 
 	var reg *telemetry.Registry
@@ -57,7 +61,7 @@ func run() int {
 		srv, err := telemetry.StartServer(*pprofAddr, reg)
 		if err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "tradeoff: pprof and /metrics on http://%s\n", srv.Addr())
@@ -78,14 +82,14 @@ func run() int {
 	points, err := experiments.Fig9Fig10Tradeoff(ctx, cfg)
 	if err != nil {
 		log.Println(err)
-		return 2
+		return exitcode.ConfigError
 	}
 	experiments.Fig9Table(points).Render(os.Stdout)
 
 	h, err := experiments.Headline(points)
 	if err != nil {
 		log.Println(err)
-		return 2
+		return exitcode.ConfigError
 	}
 	fmt.Printf("headline (paper Section 6.1.2): at +250ms reach, coverage %.4f, FPR %.3f, speedup %.2fx\n",
 		h.Coverage, h.FalsePositiveRate, h.Speedup)
@@ -96,29 +100,26 @@ func run() int {
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, reg); err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, points); err != nil {
 			log.Println(err)
-			return 2
+			return exitcode.ConfigError
 		}
 	}
-	return 0
+	return exitcode.OK
 }
 
-// writeMetrics serializes the registry snapshot to path.
+// writeMetrics serializes the registry snapshot to path atomically, so a
+// crash mid-write never leaves a truncated artifact behind.
 func writeMetrics(path string, reg *telemetry.Registry) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
 		return err
 	}
-	err = reg.Snapshot().WriteJSON(f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return checkpoint.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }
 
 // writeTrace emits one "tradeoff-point" event per grid point, in the
@@ -133,13 +134,10 @@ func writeTrace(path string, points []core.TradeoffPoint) error {
 				pt.Reach.DeltaInterval, pt.Reach.DeltaTempC,
 				pt.Coverage, pt.FalsePositiveRate, pt.Speedup()))
 	}
-	f, err := os.Create(path)
+	var buf bytes.Buffer
+	err := telemetry.WriteJSONL(&buf, telemetry.Merge(telemetry.Trace{Source: "grid", Events: tracer.Events()}))
 	if err != nil {
 		return err
 	}
-	err = telemetry.WriteJSONL(f, telemetry.Merge(telemetry.Trace{Source: "grid", Events: tracer.Events()}))
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return checkpoint.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }

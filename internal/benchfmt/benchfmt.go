@@ -10,6 +10,8 @@ import (
 	"os"
 	"runtime"
 	"testing"
+
+	"reaper/internal/checkpoint"
 )
 
 // SweepResult is one workload measured sequentially and in parallel.
@@ -92,7 +94,7 @@ func (b *Baseline) WriteFile(path string) error {
 		return err
 	}
 	data = append(data, '\n')
-	return os.WriteFile(path, data, 0o644)
+	return checkpoint.WriteFileAtomic(path, data, 0o644)
 }
 
 // ReadFile parses a BENCH_*.json baseline.

@@ -1,0 +1,44 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that the file is either absent/old
+// or complete/new, never half-written: the bytes go to a temporary file in
+// the same directory, are flushed to stable storage, and are then renamed
+// over the destination (rename within a directory is atomic on POSIX).
+//
+// Every campaign artifact in this repository — reports, metrics, traces,
+// checkpoints — must be written through this function (enforced by the
+// reaperlint artifact-write rule), so a crash mid-write can never leave a
+// truncated report that a later tool would misread as a short campaign.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: atomic write %s: sync: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: atomic write %s: close: %w", path, err)
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		return fmt.Errorf("checkpoint: atomic write %s: chmod: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: atomic write %s: rename: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+// Package exitcode defines the uniform process exit codes shared by the
+// reaper command-line tools, so scripts and CI can distinguish "the
+// campaign ran and the fleet failed its criterion" from "the tool could not
+// run" from "stop requested, resume later" without parsing logs. The full
+// table is documented in OBSERVABILITY.md.
+package exitcode
+
+const (
+	// OK: the run completed and every acceptance criterion was met.
+	OK = 0
+	// Violated: the run completed but the survival/acceptance criterion
+	// was violated (e.g. a soak fleet exceeded its UBER budget).
+	Violated = 1
+	// ConfigError: configuration or runtime error; the run did not produce
+	// a usable report.
+	ConfigError = 2
+	// PartialCoverage: the run completed but one or more shards were
+	// quarantined after exhausting their retry budget; the report covers
+	// only the surviving shards and enumerates the quarantined ones.
+	PartialCoverage = 3
+	// Interrupted: a checkpointed campaign stopped at a segment barrier on
+	// request (SIGINT/SIGTERM or -stop-after-checkpoints). The checkpoint
+	// directory holds a complete snapshot; rerun with -resume to continue.
+	Interrupted = 4
+)

@@ -71,58 +71,55 @@ type PopulationResult struct {
 	AllChipsAgree bool // every chip individually beats brute-force-like coverage
 }
 
-// PopulationSweep evaluates a fleet of chips per vendor and aggregates.
-// Chips are evaluated on the parallel fleet engine; every chip owns a
-// disjoint simulated device and RNG seed, so results are byte-identical to
-// a sequential sweep regardless of cfg.Workers.
-func PopulationSweep(ctx context.Context, cfg PopulationConfig) ([]PopulationResult, error) {
-	if cfg.ChipsPerVendor <= 0 {
-		return nil, fmt.Errorf("experiments: fleet size must be positive")
+// populationChip evaluates one flattened (vendor, chip) job.
+func populationChip(cfg PopulationConfig, vendors []dram.VendorParams, job int) (ChipResult, error) {
+	vi, c := job/cfg.ChipsPerVendor, job%cfg.ChipsPerVendor
+	vendor := vendors[vi]
+	seed := cfg.Seed + uint64(vi)*1000 + uint64(c)
+	spec := ChipSpec{
+		Bits:      cfg.ChipBits,
+		WeakScale: cfg.WeakScale,
+		Vendor:    vendor,
+		Seed:      seed,
 	}
-	vendors := dram.Vendors()
-	// Flatten the vendor x chip fleet into one job list so a small fleet of
-	// large chips still saturates the pool.
-	n := len(vendors) * cfg.ChipsPerVendor
-	chips, err := parallel.Map(ctx, n, cfg.Workers,
-		func(_ context.Context, job int) (ChipResult, error) {
-			vi, c := job/cfg.ChipsPerVendor, job%cfg.ChipsPerVendor
-			vendor := vendors[vi]
-			seed := cfg.Seed + uint64(vi)*1000 + uint64(c)
-			spec := ChipSpec{
-				Bits:      cfg.ChipBits,
-				WeakScale: cfg.WeakScale,
-				Vendor:    vendor,
-				Seed:      seed,
-			}
-			st, err := spec.NewStation()
-			if err != nil {
-				return ChipResult{}, err
-			}
-			truth := core.Truth(st, cfg.TargetInterval, 45)
-			prof, err := core.Reach(st, cfg.TargetInterval, cfg.Reach, core.Options{
-				Iterations:              cfg.Iterations,
-				FreshRandomPerIteration: true,
-				Seed:                    seed,
-			})
-			if err != nil {
-				return ChipResult{}, err
-			}
-			return ChipResult{
-				Vendor:   vendor.Name,
-				Seed:     seed,
-				BER1024:  spec.EffectiveBER(truth.Len()),
-				Coverage: core.Coverage(prof.Failures, truth),
-				FPR:      core.FalsePositiveRate(prof.Failures, truth),
-			}, nil
-		})
+	st, err := spec.NewStation()
 	if err != nil {
-		return nil, err
+		return ChipResult{}, err
 	}
+	truth := core.Truth(st, cfg.TargetInterval, 45)
+	prof, err := core.Reach(st, cfg.TargetInterval, cfg.Reach, core.Options{
+		Iterations:              cfg.Iterations,
+		FreshRandomPerIteration: true,
+		Seed:                    seed,
+	})
+	if err != nil {
+		return ChipResult{}, err
+	}
+	return ChipResult{
+		Vendor:   vendor.Name,
+		Seed:     seed,
+		BER1024:  spec.EffectiveBER(truth.Len()),
+		Coverage: core.Coverage(prof.Failures, truth),
+		FPR:      core.FalsePositiveRate(prof.Failures, truth),
+	}, nil
+}
+
+// aggregatePopulation folds the flattened chip results into per-vendor
+// aggregates, skipping jobs listed in excluded (quarantined shards).
+func aggregatePopulation(cfg PopulationConfig, vendors []dram.VendorParams, chips []ChipResult, excluded map[int]bool) []PopulationResult {
 	var out []PopulationResult
 	for vi, vendor := range vendors {
 		res := PopulationResult{Vendor: vendor.Name, AllChipsAgree: true, CoverageMin: 1}
 		var bers, covs, fprs []float64
-		for _, cr := range chips[vi*cfg.ChipsPerVendor : (vi+1)*cfg.ChipsPerVendor] {
+		for c := 0; c < cfg.ChipsPerVendor; c++ {
+			job := vi*cfg.ChipsPerVendor + c
+			if excluded[job] {
+				// A quarantined chip contributes no data; the fleet cannot
+				// claim full agreement over chips it never measured.
+				res.AllChipsAgree = false
+				continue
+			}
+			cr := chips[job]
 			res.Chips = append(res.Chips, cr)
 			bers = append(bers, cr.BER1024)
 			covs = append(covs, cr.Coverage)
@@ -145,7 +142,55 @@ func PopulationSweep(ctx context.Context, cfg PopulationConfig) ([]PopulationRes
 		res.FPRMean = stats.Mean(fprs)
 		out = append(out, res)
 	}
-	return out, nil
+	return out
+}
+
+// PopulationSweep evaluates a fleet of chips per vendor and aggregates.
+// Chips are evaluated on the parallel fleet engine; every chip owns a
+// disjoint simulated device and RNG seed, so results are byte-identical to
+// a sequential sweep regardless of cfg.Workers. The first chip error aborts
+// the sweep; use PopulationSweepPartial for fault-tolerant execution.
+func PopulationSweep(ctx context.Context, cfg PopulationConfig) ([]PopulationResult, error) {
+	if cfg.ChipsPerVendor <= 0 {
+		return nil, fmt.Errorf("experiments: fleet size must be positive")
+	}
+	vendors := dram.Vendors()
+	// Flatten the vendor x chip fleet into one job list so a small fleet of
+	// large chips still saturates the pool.
+	n := len(vendors) * cfg.ChipsPerVendor
+	chips, err := parallel.Map(ctx, n, cfg.Workers,
+		func(_ context.Context, job int) (ChipResult, error) {
+			return populationChip(cfg, vendors, job)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return aggregatePopulation(cfg, vendors, chips, nil), nil
+}
+
+// PopulationSweepPartial is the fault-tolerant sweep: a chip shard that
+// fails or panics is retried per policy and then quarantined rather than
+// aborting the fleet. The returned failures enumerate the quarantined
+// shards (sorted by job index); the aggregates cover only the measured
+// chips, and a vendor missing any chip reports AllChipsAgree = false.
+func PopulationSweepPartial(ctx context.Context, cfg PopulationConfig, policy parallel.RetryPolicy) ([]PopulationResult, []parallel.JobFailure, error) {
+	if cfg.ChipsPerVendor <= 0 {
+		return nil, nil, fmt.Errorf("experiments: fleet size must be positive")
+	}
+	vendors := dram.Vendors()
+	n := len(vendors) * cfg.ChipsPerVendor
+	chips, failures, err := parallel.MapPartial(ctx, n, cfg.Workers, policy,
+		func(_ context.Context, job int) (ChipResult, error) {
+			return populationChip(cfg, vendors, job)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	excluded := make(map[int]bool, len(failures))
+	for _, f := range failures {
+		excluded[f.Job] = true
+	}
+	return aggregatePopulation(cfg, vendors, chips, excluded), failures, nil
 }
 
 // PopulationTable renders the aggregation.

@@ -16,7 +16,6 @@ import (
 	"slices"
 	"strconv"
 
-	"reaper/internal/core"
 	"reaper/internal/dram"
 	"reaper/internal/faultinject"
 	"reaper/internal/firmware"
@@ -24,7 +23,6 @@ import (
 	"reaper/internal/mitigate"
 	"reaper/internal/parallel"
 	"reaper/internal/rng"
-	"reaper/internal/scrub"
 	"reaper/internal/telemetry"
 )
 
@@ -75,6 +73,16 @@ type SoakConfig struct {
 	// TraceCapacity sizes each chip's trace ring when Telemetry is set.
 	// Defaults to telemetry.DefaultTraceCapacity.
 	TraceCapacity int `json:"-"`
+	// ShardPolicy bounds per-chip fault tolerance. The zero value keeps the
+	// historical fail-fast behavior: the first chip error aborts the whole
+	// campaign. With Attempts >= 1, a failing or panicking chip is retried
+	// up to Attempts times (deterministic exponential backoff) and then
+	// quarantined: the campaign completes with PartialCoverage set and the
+	// poisoned shards enumerated in the report instead of aborting.
+	ShardPolicy parallel.RetryPolicy `json:"-"`
+	// Checkpoint, when non-nil with a Dir, runs the campaign in checkpointed
+	// segments (see CheckpointOptions).
+	Checkpoint *CheckpointOptions `json:"-"`
 }
 
 // DefaultSoakConfig is the standard two-week fleet soak at 1024 ms under
@@ -179,50 +187,120 @@ type SoakReport struct {
 	// with omitempty so uninstrumented reports are unchanged byte for byte.
 	Telemetry   *telemetry.Snapshot `json:"telemetry,omitempty"`
 	TraceEvents []telemetry.Event   `json:"trace_events,omitempty"`
+
+	// Quarantined enumerates chips that exhausted their retry budget and
+	// were excluded from the campaign (ShardPolicy fault tolerance). When
+	// non-empty, PartialCoverage is set and the aggregate statistics cover
+	// only the surviving chips. Both fields serialize with omitempty so
+	// full-coverage reports are unchanged byte for byte.
+	Quarantined     []QuarantinedShard `json:"quarantined,omitempty"`
+	PartialCoverage bool               `json:"partial_coverage,omitempty"`
 }
 
-// Soak runs the campaign. Chips run concurrently on a worker pool; each
-// chip's simulation is fully sequential and seeded independently, so the
-// report is bit-for-bit identical at any worker count.
-func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
-	if err := cfg.fillDefaults(); err != nil {
-		return nil, err
-	}
-	// Derive per-chip seeds up front so the fleet order is fixed.
+// QuarantinedShard records one chip shard that was excluded from the
+// campaign after exhausting its retry budget.
+type QuarantinedShard struct {
+	// Chip is the fleet index of the quarantined shard.
+	Chip int `json:"chip"`
+	// Seed is the chip's derived campaign seed.
+	Seed uint64 `json:"seed"`
+	// Windows is how many scrub windows the chip completed before the last
+	// checkpoint barrier (always 0 in non-checkpointed campaigns, which
+	// lose a failed shard's partial progress).
+	Windows int `json:"windows"`
+	// Attempts is how many times the shard was tried.
+	Attempts int `json:"attempts"`
+	// Reason is the final failure in its stable form (panic values keep
+	// their message but lose the stack, so reports stay deterministic).
+	Reason string `json:"reason"`
+}
+
+// soakSeeds derives the per-chip seeds up front so the fleet order is fixed.
+func soakSeeds(cfg SoakConfig) []uint64 {
 	root := rng.New(cfg.Seed)
 	seeds := make([]uint64, cfg.Chips)
 	for i := range seeds {
 		seeds[i] = root.Split(uint64(i) + 1).Uint64()
 	}
+	return seeds
+}
+
+// Soak runs the campaign. Chips run concurrently on a worker pool; each
+// chip's simulation is fully sequential and seeded independently, so the
+// report is bit-for-bit identical at any worker count. With a ShardPolicy,
+// failing chips are retried and then quarantined instead of aborting the
+// campaign; with Checkpoint set, the campaign runs in resumable segments
+// (see CheckpointOptions) and may return ErrInterrupted.
+func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	seeds := soakSeeds(cfg)
 	ctx = telemetry.WithRegistry(ctx, cfg.Telemetry)
-	results, err := parallel.Map(ctx, cfg.Chips, cfg.Workers,
-		func(ctx context.Context, i int) (chipSoakResult, error) {
-			return soakChip(ctx, cfg, i, seeds[i])
-		})
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Dir != "" {
+		return soakCheckpointed(ctx, cfg, seeds)
+	}
+	var (
+		results     []chipSoakResult
+		quarantined []QuarantinedShard
+		err         error
+	)
+	if cfg.ShardPolicy.Attempts >= 1 {
+		var failures []parallel.JobFailure
+		results, failures, err = parallel.MapPartial(ctx, cfg.Chips, cfg.Workers, cfg.ShardPolicy,
+			func(ctx context.Context, i int) (chipSoakResult, error) {
+				return soakChip(ctx, cfg, i, seeds[i])
+			})
+		for _, f := range failures {
+			quarantined = append(quarantined, QuarantinedShard{
+				Chip: f.Job, Seed: seeds[f.Job], Attempts: f.Attempts, Reason: f.Reason(),
+			})
+		}
+	} else {
+		results, err = parallel.Map(ctx, cfg.Chips, cfg.Workers,
+			func(ctx context.Context, i int) (chipSoakResult, error) {
+				return soakChip(ctx, cfg, i, seeds[i])
+			})
+	}
 	if err != nil {
 		return nil, err
 	}
-	chips := make([]ChipSoakReport, len(results))
+	return assembleSoakReport(cfg, results, quarantined), nil
+}
+
+// assembleSoakReport aggregates the fleet results into the campaign report.
+// Quarantined chips are excluded from the per-chip reports and from every
+// aggregate statistic; coverage is flagged as partial.
+func assembleSoakReport(cfg SoakConfig, results []chipSoakResult, quarantined []QuarantinedShard) *SoakReport {
+	excluded := make(map[int]bool, len(quarantined))
+	for _, q := range quarantined {
+		excluded[q.Chip] = true
+	}
+	chips := make([]ChipSoakReport, 0, len(results))
 	for i, r := range results {
-		chips[i] = r.rep
+		if !excluded[i] {
+			chips = append(chips, r.rep)
+		}
 	}
 	rep := &SoakReport{
-		Chips:          cfg.Chips,
-		Seed:           cfg.Seed,
-		Hours:          cfg.Hours,
-		WindowHours:    cfg.WindowHours,
-		TargetInterval: cfg.TargetInterval,
-		Controller:     cfg.Controller,
-		MaxUBER:        cfg.MaxUBER,
-		Survived:       true,
-		ChipReports:    chips,
+		Chips:           cfg.Chips,
+		Seed:            cfg.Seed,
+		Hours:           cfg.Hours,
+		WindowHours:     cfg.WindowHours,
+		TargetInterval:  cfg.TargetInterval,
+		Controller:      cfg.Controller,
+		MaxUBER:         cfg.MaxUBER,
+		Survived:        true,
+		ChipReports:     chips,
+		Quarantined:     quarantined,
+		PartialCoverage: len(quarantined) > 0,
 	}
 	for _, c := range chips {
 		rep.Survived = rep.Survived && c.Survived
 		rep.WorstUBER = math.Max(rep.WorstUBER, c.UBER)
 		rep.TotalUEEvents += c.UEEvents
 		rep.TotalViolationWindow += c.ViolationWindows
-		rep.MeanExtendedFraction += c.ExtendedFraction / float64(cfg.Chips)
+		rep.MeanExtendedFraction += c.ExtendedFraction / float64(len(chips))
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		// Campaign-level series are written here, sequentially, after the
@@ -242,7 +320,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 		}
 		rep.TraceEvents = telemetry.Merge(traces...)
 	}
-	return rep, nil
+	return rep
 }
 
 // chipSoakResult carries one chip's report plus its trace ring contents
@@ -252,154 +330,18 @@ type chipSoakResult struct {
 	trace []telemetry.Event
 }
 
-// soakChip runs one chip's full campaign.
+// soakChip runs one chip's full campaign in one shot (the non-checkpointed
+// path): construct the stack, run every window, finalize.
 func soakChip(ctx context.Context, cfg SoakConfig, idx int, seed uint64) (chipSoakResult, error) {
-	rep := ChipSoakReport{Chip: idx, Seed: seed}
-	fail := func(err error) (chipSoakResult, error) {
-		return chipSoakResult{rep: rep}, fmt.Errorf("soak chip %d: %w", idx, err)
-	}
-
-	spec := cfg.Chip
-	spec.Seed = seed
-	spec.Chamber = false
-	st, err := spec.NewStation()
+	r, err := newSoakRunner(cfg, idx, seed)
 	if err != nil {
-		return fail(err)
+		return chipSoakResult{rep: ChipSoakReport{Chip: idx, Seed: seed}},
+			fmt.Errorf("soak chip %d: %w", idx, err)
 	}
-	st.SetRefreshInterval(cfg.TargetInterval)
-
-	shield, err := mitigate.NewArchShield(st, cfg.SpareFraction)
-	if err != nil {
-		return fail(err)
+	if _, err := r.runWindows(ctx, 0); err != nil {
+		return chipSoakResult{rep: r.rep}, fmt.Errorf("soak chip %d: %w", idx, err)
 	}
-	mem, err := scrub.NewECCMemory(st)
-	if err != nil {
-		return fail(err)
-	}
-	mem.SetMapper(shield.Resolve)
-	scr, err := scrub.NewScrubber(mem)
-	if err != nil {
-		return fail(err)
-	}
-
-	scen := faultinject.DefaultScenario(seed^0xFA177, cfg.TargetInterval)
-	if cfg.Scenario != nil {
-		scen = *cfg.Scenario
-		scen.Seed = scen.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15
-	}
-	inj, err := faultinject.New(st, cfg.TargetInterval, scen)
-	if err != nil {
-		return fail(err)
-	}
-	inj.AttachShield(shield)
-
-	resident := selectResidentWords(st, shield, cfg.TargetInterval, cfg.ResidentWords)
-	writeResident := func() error {
-		cells := cellsByPhysicalWord(st)
-		for _, wa := range resident {
-			if err := mem.Write(wa, stressPayload(wa, cells[shield.Resolve(wa)])); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	mgr, err := firmware.New(st, firmware.Config{
-		TargetInterval: cfg.TargetInterval,
-		Reach:          core.ReachConditions{DeltaInterval: 0.25},
-		Profiling:      core.Options{Iterations: 4, FreshRandomPerIteration: true, Seed: seed},
-		CadenceHours:   cfg.CadenceHours,
-		PreRound:       inj.RoundGate(),
-		Install:        shield.Install,
-		AfterRound:     writeResident,
-		Resilience:     firmware.ResilienceConfig{Enabled: cfg.Controller},
-	})
-	if err != nil {
-		return fail(err)
-	}
-
-	// Instrument the chip's components: counters aggregate commutatively
-	// across the fleet, gauges carry the chip label, and the chip owns its
-	// trace ring outright (merged into the fleet timeline by Soak).
-	var tracer *telemetry.Tracer
-	if reg := cfg.Telemetry; reg != nil {
-		capacity := cfg.TraceCapacity
-		if capacity <= 0 {
-			capacity = telemetry.DefaultTraceCapacity
-		}
-		tracer = telemetry.NewTracer(capacity)
-		chipLabel := telemetry.L("chip", strconv.Itoa(idx))
-		mgr.Instrument(reg, tracer, chipLabel)
-		inj.Instrument(reg, tracer, chipLabel)
-		scr.Instrument(reg, tracer, chipLabel)
-	}
-
-	if err := writeResident(); err != nil {
-		return fail(err)
-	}
-
-	windowSec := cfg.WindowHours * 3600
-	end := st.Clock() + cfg.Hours*3600
-	for st.Clock() < end-1e-6 {
-		if err := ctx.Err(); err != nil {
-			return fail(err)
-		}
-		inj.RunUntil(math.Min(st.Clock()+windowSec, end))
-		if _, err := mgr.Tick(ctx); err != nil {
-			return fail(err)
-		}
-		srep, err := scr.Scrub()
-		if err != nil {
-			return fail(err)
-		}
-		rep.Windows++
-		rep.CorrectedTotal += srep.Corrected
-		rep.WordsScanned += int64(srep.WordsScanned)
-		if srep.Uncorrectable > 0 {
-			rep.ViolationWindows++
-			rep.UEEvents += srep.Uncorrectable
-			// Page-reload model: the OS restores each SECDED-fatal word
-			// from backing store, so the word is stressed again next
-			// window rather than staying frozen at its corrupted value.
-			cells := cellsByPhysicalWord(st)
-			for _, wa := range srep.Uncorrectables {
-				if err := mem.Write(wa, stressPayload(wa, cells[shield.Resolve(wa)])); err != nil {
-					return fail(err)
-				}
-			}
-		}
-		mgr.ReportScrub(firmware.Telemetry{
-			WindowSeconds: windowSec,
-			Corrected:     srep.Corrected,
-			Uncorrectable: srep.Uncorrectable,
-		})
-	}
-
-	// UBER: a word-level UE is ~2 wrong bits out of the 64 data bits read.
-	if rep.WordsScanned > 0 {
-		rep.UBER = 2 * float64(rep.UEEvents) / (64 * float64(rep.WordsScanned))
-	}
-	rep.Survived = rep.UBER <= cfg.MaxUBER
-	rep.Rounds = mgr.Rounds()
-	rep.EarlyRounds = mgr.EarlyRounds()
-	rep.Aborts = mgr.Aborts()
-	rep.WidenSteps = mgr.WidenSteps()
-	rep.FinalDegradeLevel = mgr.DegradeLevel()
-	rep.FinalIntervalMs = mgr.CurrentInterval() * 1000
-	rep.SparesExhausted = mgr.SparesExhausted()
-	rep.ExtendedFraction = mgr.ExtendedFraction()
-	rep.FaultCounts = inj.Counts()
-	rep.FaultEvents = inj.Events()
-	rep.ControllerEvents = mgr.Events()
-	for _, e := range rep.ControllerEvents {
-		switch e.Kind {
-		case firmware.EventDegrade:
-			rep.DegradeEvents++
-		case firmware.EventRecover:
-			rep.RecoverEvents++
-		}
-	}
-	return chipSoakResult{rep: rep, trace: tracer.Events()}, nil
+	return r.finalize(), nil
 }
 
 // selectResidentWords picks the resident data set: the words whose contents

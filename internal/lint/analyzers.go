@@ -17,6 +17,7 @@ func Analyzers() []*Analyzer {
 		NakedGoroutine,
 		CtxFirst,
 		ExportedDoc,
+		RawArtifactWrite,
 	}
 }
 
@@ -389,6 +390,36 @@ var CtxFirst = &Analyzer{
 						(name == "Background" || name == "TODO") {
 						report(d, "context.%s in library package %s: accept a ctx from the caller instead", name, p.Path)
 					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// RawArtifactWrite forbids raw os.WriteFile/os.Create outside
+// internal/checkpoint: campaign artifacts (reports, metrics snapshots,
+// traces, bench baselines) must go through checkpoint.WriteFileAtomic so a
+// crash mid-write never leaves a truncated file that a resume — or any
+// later reader — would trust. Streams that genuinely cannot be buffered
+// (the live pprof CPU profile handed to runtime/pprof) carry a
+// //lint:ignore raw-artifact-write justification.
+var RawArtifactWrite = &Analyzer{
+	Name: "raw-artifact-write",
+	Doc:  "forbid os.WriteFile/os.Create outside internal/checkpoint; artifacts are written atomically",
+	Run: func(p *Package, report func(ast.Node, string, ...any)) {
+		if strings.Contains(p.Path+"/", "/internal/checkpoint/") {
+			return
+		}
+		banned := map[string]bool{"WriteFile": true, "Create": true}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkg, name, ok := pkgFuncCall(p, call); ok && pkg == "os" && banned[name] {
+					report(call, "os.%s outside internal/checkpoint: write artifacts through checkpoint.WriteFileAtomic so a crash never leaves a truncated file", name)
 				}
 				return true
 			})

@@ -108,6 +108,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"ctx-first", "ctxfix", "reaper/internal/ctxfix", CtxFirst, true},
 		{"exported-doc/library", "docfix", "reaper/internal/docfix", ExportedDoc, true},
 		{"exported-doc/main-allowed", "panicmain", "reaper/cmd/panicmain", ExportedDoc, false},
+		{"raw-artifact-write/library", "writefix", "reaper/internal/writefix", RawArtifactWrite, true},
+		{"raw-artifact-write/checkpoint-allowed", "writefix", "reaper/internal/checkpoint", RawArtifactWrite, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

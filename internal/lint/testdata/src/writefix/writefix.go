@@ -1,0 +1,26 @@
+// Package writefix exercises the raw-artifact-write rule: raw file
+// creation is forbidden outside internal/checkpoint (the same file is
+// loaded under a checkpoint import path by the tests, where it is legal).
+package writefix
+
+import "os"
+
+// Report writes a report the raw, truncation-prone way.
+func Report(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // WANT raw-artifact-write
+}
+
+// Open creates an artifact stream the raw way.
+func Open(path string) (*os.File, error) {
+	return os.Create(path) // WANT raw-artifact-write
+}
+
+// ReadBack is the allowed negative: reads are not artifact writes.
+func ReadBack(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Stream is the allowed negative for justified live streams.
+func Stream(path string) (*os.File, error) {
+	return os.Create(path) //lint:ignore raw-artifact-write live profile stream cannot be buffered then renamed
+}

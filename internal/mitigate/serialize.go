@@ -1,0 +1,55 @@
+package mitigate
+
+import (
+	"fmt"
+	"sort"
+
+	"reaper/internal/checkpoint"
+)
+
+// Checkpoint surface of ArchShield: the remap table and the spare allocation
+// cursor. The segment bounds are derived from the constructor arguments and
+// are written only as guards against restoring into a differently shaped
+// shield.
+
+const maxRestoreRemaps = 1 << 28
+
+// EncodeState serializes the shield's mutable state.
+func (a *ArchShield) EncodeState(e *checkpoint.Encoder) {
+	e.Section("mitigate.archshield")
+	e.U64(uint64(a.reservedFromRow))
+	e.U64(a.spareLimit)
+	e.U64(a.nextSpare)
+	keys := make([]uint64, 0, len(a.remap))
+	for k := range a.remap {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.Len(len(keys))
+	for _, k := range keys {
+		e.U64(k)
+		e.U64(a.remap[k])
+	}
+}
+
+// RestoreState loads state serialized by EncodeState into a freshly
+// constructed shield with the same geometry and reserve fraction.
+func (a *ArchShield) RestoreState(d *checkpoint.Decoder) error {
+	d.Section("mitigate.archshield")
+	from, limit := uint32(d.U64()), d.U64()
+	if d.Err() == nil && (from != a.reservedFromRow || limit != a.spareLimit) {
+		return fmt.Errorf("mitigate: restore: segment [%d, %d) does not match shield [%d, %d)",
+			from, limit, a.reservedFromRow, a.spareLimit)
+	}
+	a.nextSpare = d.U64()
+	n := d.Len(maxRestoreRemaps)
+	if d.Err() != nil {
+		return d.Err()
+	}
+	a.remap = make(map[uint64]uint64, n)
+	for i := 0; i < n; i++ {
+		k := d.U64()
+		a.remap[k] = d.U64()
+	}
+	return d.Err()
+}

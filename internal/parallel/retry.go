@@ -1,0 +1,206 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reaper/internal/telemetry"
+)
+
+// Reason renders the recovered panic value without the worker stack trace.
+// Stacks embed goroutine ids and addresses, so two identical panics never
+// render the same Error() string; Reason is the stable form campaign
+// reports and checkpoint manifests record.
+func (e *PanicError) Reason() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// RetryPolicy bounds how a fault-tolerant batch treats a failing job.
+// The zero value means one attempt, no timeout, no backoff — exactly the
+// semantics Map gives a job, minus the batch abort.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per job (first run included).
+	// Values below 1 mean 1.
+	Attempts int
+	// BackoffBase is the delay before the second attempt; each further
+	// attempt doubles it. The sequence is deterministic — no jitter — so a
+	// retried campaign schedules identically every run.
+	BackoffBase time.Duration
+	// BackoffMax caps the doubled backoff. Zero means no cap.
+	BackoffMax time.Duration
+	// AttemptTimeout, when positive, bounds each attempt via a context
+	// deadline. Jobs must be context-aware for the bound to bite: the pool
+	// cannot kill a goroutine, it can only cancel cooperatively.
+	AttemptTimeout time.Duration
+	// Sleep is called to realize backoff delays; nil uses time.Sleep.
+	// Tests inject a recorder to assert the schedule without waiting.
+	Sleep func(time.Duration)
+}
+
+// attempts normalizes the configured attempt count.
+func (p RetryPolicy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// backoff returns the deterministic delay before the given retry (retry 1 =
+// second attempt).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	if p.BackoffBase <= 0 {
+		return 0
+	}
+	d := p.BackoffBase << (retry - 1)
+	if d <= 0 || (p.BackoffMax > 0 && d > p.BackoffMax) {
+		// The shift overflowed, or the cap applies.
+		if p.BackoffMax > 0 {
+			return p.BackoffMax
+		}
+		return p.BackoffBase
+	}
+	return d
+}
+
+// JobFailure records one job that exhausted its attempts.
+type JobFailure struct {
+	// Job is the job index within the batch.
+	Job int
+	// Attempts is how many times the job was tried.
+	Attempts int
+	// Err is the error from the final attempt.
+	Err error
+}
+
+// Reason renders the failure's error in its stable form: panics lose their
+// stack (see PanicError.Reason), other errors render as Error().
+func (f JobFailure) Reason() string {
+	if pe, ok := f.Err.(*PanicError); ok {
+		return pe.Reason()
+	}
+	if f.Err == nil {
+		return ""
+	}
+	return f.Err.Error()
+}
+
+// MapPartial runs fn(ctx, i) for i in [0, n) like Map, but a failing job
+// does not abort the batch: each job is retried per policy, and jobs that
+// exhaust their attempts are returned as JobFailures (sorted by job index)
+// while every other job's result is delivered normally. A failed job's slot
+// in the result slice holds the zero value.
+//
+// The batch-level error is non-nil only when ctx is cancelled; in that case
+// results and failures are meaningless and the caller should stop. As with
+// Map, results and failures are identical at every worker count provided
+// each job owns disjoint state.
+func MapPartial[T any](ctx context.Context, n, workers int, policy RetryPolicy, fn func(ctx context.Context, i int) (T, error)) ([]T, []JobFailure, error) {
+	if n <= 0 {
+		return nil, nil, nil
+	}
+	if ctx == nil {
+		//lint:ignore ctx-first nil-ctx convenience default at the pool boundary, not a severed cancellation chain
+		ctx = context.Background()
+	}
+	reg := telemetry.FromContext(ctx)
+	reg.Counter("parallel_batches_total").Inc()
+	reg.Counter("parallel_jobs_queued_total").Add(int64(n))
+	reg.Histogram("parallel_batch_jobs", batchJobBounds).Observe(float64(n))
+
+	sleep := policy.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	out := make([]T, n)
+	var (
+		mu       sync.Mutex
+		failures []JobFailure
+		retries  int64
+	)
+	runJob := func(i int) error {
+		var lastErr error
+		for attempt := 1; attempt <= policy.attempts(); attempt++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if attempt > 1 {
+				sleep(policy.backoff(attempt - 1))
+				mu.Lock()
+				retries++
+				mu.Unlock()
+			}
+			attemptCtx, cancel := ctx, context.CancelFunc(nil)
+			if policy.AttemptTimeout > 0 {
+				attemptCtx, cancel = context.WithTimeout(ctx, policy.AttemptTimeout)
+			}
+			v, err := run(attemptCtx, i, fn)
+			if cancel != nil {
+				cancel()
+			}
+			if err == nil {
+				out[i] = v
+				return nil
+			}
+			lastErr = err
+			// A batch-level cancellation surfacing through the job is not a
+			// job fault; stop retrying and report the cancellation.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		mu.Lock()
+		failures = append(failures, JobFailure{Job: i, Attempts: policy.attempts(), Err: lastErr})
+		mu.Unlock()
+		return nil
+	}
+
+	workers = clampWorkers(workers, n)
+	if workers == 1 || n < minChunkJobs {
+		for i := 0; i < n; i++ {
+			if err := runJob(i); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		var (
+			next      atomic.Int64
+			wg        sync.WaitGroup
+			ctxErr    error
+			ctxErrsMu sync.Mutex
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if err := runJob(i); err != nil {
+						ctxErrsMu.Lock()
+						if ctxErr == nil {
+							ctxErr = err
+						}
+						ctxErrsMu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if ctxErr != nil {
+			return nil, nil, ctxErr
+		}
+	}
+
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Job < failures[j].Job })
+	reg.Counter("parallel_job_retries_total").Add(retries)
+	reg.Counter("parallel_jobs_failed_total").Add(int64(len(failures)))
+	reg.Counter("parallel_jobs_completed_total").Add(int64(n - len(failures)))
+	return out, failures, nil
+}

@@ -1,0 +1,48 @@
+package patterns
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reconstructs a Pattern from its Name() string. The returned value
+// compares == to the original for every pattern this package constructs
+// (all pattern types are comparable and carry only their parameters), which
+// is what lets checkpointed device state re-identify cached round content
+// after a resume: the round cache is keyed by pattern value identity.
+func Parse(name string) (Pattern, error) {
+	if rest, ok := strings.CutPrefix(name, "~"); ok {
+		inner, err := Parse(rest)
+		if err != nil {
+			return nil, err
+		}
+		return Invert(inner), nil
+	}
+	switch name {
+	case "solid0":
+		return Solid0(), nil
+	case "solid1":
+		return Solid1(), nil
+	case "checker":
+		return Checkerboard(), nil
+	case "colstripe":
+		return ColStripe(), nil
+	case "rowstripe":
+		return RowStripe(), nil
+	case "walk1":
+		return WalkingOnes(), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "random("); ok {
+		hex, ok := strings.CutSuffix(rest, ")")
+		if !ok {
+			return nil, fmt.Errorf("patterns: malformed name %q", name)
+		}
+		seed, err := strconv.ParseUint(hex, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("patterns: malformed random seed in %q: %w", name, err)
+		}
+		return Random(seed), nil
+	}
+	return nil, fmt.Errorf("patterns: unknown pattern name %q", name)
+}

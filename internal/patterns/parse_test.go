@@ -1,0 +1,34 @@
+package patterns
+
+import "testing"
+
+// TestParseRoundTrip pins the identity contract Parse exists for: the
+// parsed pattern is == to the original (not merely behaviorally equal), for
+// every pattern the repository constructs, so round-cache keys built from
+// pattern values survive a checkpoint/restore cycle.
+func TestParseRoundTrip(t *testing.T) {
+	var all []Pattern
+	all = append(all, StandardWithInverses(0xBEEF)...)
+	all = append(all, Solid1(), Invert(Solid1()), Random(0), Invert(Random(^uint64(0))))
+	for _, p := range all {
+		got, err := Parse(p.Name())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", p.Name(), err)
+			continue
+		}
+		if got != p {
+			t.Errorf("Parse(%q) = %#v, not == to original %#v", p.Name(), got, p)
+		}
+		if got.Name() != p.Name() {
+			t.Errorf("Parse(%q).Name() = %q", p.Name(), got.Name())
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, name := range []string{"", "plaid", "random(", "random(xyz)", "~", "~plaid"} {
+		if _, err := Parse(name); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", name)
+		}
+	}
+}

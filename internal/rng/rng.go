@@ -84,6 +84,34 @@ func Derive(seed, key uint64) *Source {
 	return New(mixed)
 }
 
+// State returns the generator's full 256-bit internal state, for
+// checkpointing. Restoring it with SetState or FromState resumes the stream
+// at exactly the position it was captured, so a checkpointed campaign
+// replays the identical draw sequence.
+func (s *Source) State() [4]uint64 {
+	return [4]uint64{s.s0, s.s1, s.s2, s.s3}
+}
+
+// SetState overwrites the generator's internal state with a value captured
+// by State. The all-zero state is never produced by New, Split or Derive
+// (splitMix64 of any seed is non-degenerate), so a zero state here indicates
+// a corrupted checkpoint; it is replaced by a freshly seeded state to keep
+// the generator usable rather than stuck emitting zeros.
+func (s *Source) SetState(st [4]uint64) {
+	if st == ([4]uint64{}) {
+		s.reseed(0)
+		return
+	}
+	s.s0, s.s1, s.s2, s.s3 = st[0], st[1], st[2], st[3]
+}
+
+// FromState constructs a Source positioned at a state captured by State.
+func FromState(st [4]uint64) *Source {
+	var s Source
+	s.SetState(st)
+	return &s
+}
+
 // Float64 returns a uniformly distributed float64 in [0, 1).
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)

@@ -62,7 +62,7 @@ func (s *Server) Close() error { return s.srv.Close() }
 // StartCPUProfile begins writing a CPU profile to path and returns the
 // function that stops the profile and closes the file.
 func StartCPUProfile(path string) (stop func() error, err error) {
-	f, err := os.Create(path)
+	f, err := os.Create(path) //lint:ignore raw-artifact-write live profile stream: runtime/pprof writes incrementally, cannot buffer then rename
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
 	}
@@ -78,7 +78,7 @@ func StartCPUProfile(path string) (stop func() error, err error) {
 
 // WriteHeapProfile writes the current heap profile to path.
 func WriteHeapProfile(path string) error {
-	f, err := os.Create(path)
+	f, err := os.Create(path) //lint:ignore raw-artifact-write host-process profile, not a campaign artifact a resume would trust
 	if err != nil {
 		return fmt.Errorf("telemetry: heap profile: %w", err)
 	}
