@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-go bench-parallel benchdiff soak-quick soak-resume-quick lint lint-fixtures
+.PHONY: all build vet test race check bench bench-go bench-parallel benchdiff soak-quick soak-resume-quick lint lint-json lint-fixtures
 
 all: check
 
@@ -50,10 +50,18 @@ soak-resume-quick:
 lint:
 	$(GO) run ./cmd/reaperlint -md ./...
 
+# lint-json runs the same suite and also writes the stable machine-readable
+# report (sorted findings + fired suppressions) that CI uploads as an
+# artifact. Override LINT_JSON to choose the output path.
+LINT_JSON ?= reaperlint.json
+lint-json:
+	$(GO) run ./cmd/reaperlint -md -json $(LINT_JSON) ./...
+
 # lint-fixtures runs the analyzer fixture tests only (fast; -short skips the
-# whole-repo scan that `make lint` already performs).
+# whole-repo scan that `make lint` already performs). Runs under -race like
+# the rest of `make check`: the fixture loader is shared across subtests.
 lint-fixtures:
-	$(GO) test -short ./internal/lint
+	$(GO) test -race -short ./internal/lint
 
 check: build vet lint race soak-quick soak-resume-quick
 

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"reaper/internal/checkpoint"
+	"reaper/internal/lint"
+)
+
+// jsonFinding is one finding in the machine-readable report.
+type jsonFinding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // module-relative, slash-separated
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// jsonSuppression is one //lint:ignore (or //lint:serialized-elsewhere
+// waiver is reported by its rule) directive that silenced a finding.
+type jsonSuppression struct {
+	Rule   string `json:"rule"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+}
+
+// jsonReport is the -json output schema. Both lists are sorted by
+// (file, line, rule) so repeated runs over an unchanged tree are
+// byte-identical — the report can be diffed and archived like any other
+// artifact of this repository.
+type jsonReport struct {
+	Findings    []jsonFinding     `json:"findings"`
+	Suppressed  []jsonSuppression `json:"suppressed"`
+	RulesRun    []string          `json:"rules_run"`
+	PackageN    int               `json:"packages"`
+	FindingN    int               `json:"finding_count"`
+	SuppressedN int               `json:"suppressed_count"`
+}
+
+// relSlash rewrites an absolute path module-relative with forward slashes,
+// so reports produced on different machines (or in CI) compare equal.
+func relSlash(root, path string) string {
+	if r, err := filepath.Rel(root, path); err == nil {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(path)
+}
+
+// buildReport assembles the stable report from a run.
+func buildReport(root string, res lint.Result, analyzers []*lint.Analyzer, packages int) jsonReport {
+	rep := jsonReport{
+		// Empty slices, not nulls: a clean run still has both keys.
+		Findings:   []jsonFinding{},
+		Suppressed: []jsonSuppression{},
+		PackageN:   packages,
+	}
+	for _, a := range analyzers {
+		rep.RulesRun = append(rep.RulesRun, a.Name)
+	}
+	sort.Strings(rep.RulesRun)
+	for _, f := range res.Findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Rule:    f.Rule,
+			File:    relSlash(root, f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Message: f.Message,
+		})
+	}
+	for _, s := range res.Suppressions {
+		if !s.Used() {
+			continue
+		}
+		rep.Suppressed = append(rep.Suppressed, jsonSuppression{
+			Rule:   s.Rule,
+			File:   relSlash(root, s.Pos.Filename),
+			Line:   s.Pos.Line,
+			Reason: s.Reason,
+		})
+	}
+	sortKey := func(file string, line int, rule string) string {
+		return fmt.Sprintf("%s\x00%08d\x00%s", file, line, rule)
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		return sortKey(a.File, a.Line, a.Rule) < sortKey(b.File, b.Line, b.Rule)
+	})
+	sort.Slice(rep.Suppressed, func(i, j int) bool {
+		a, b := rep.Suppressed[i], rep.Suppressed[j]
+		return sortKey(a.File, a.Line, a.Rule) < sortKey(b.File, b.Line, b.Rule)
+	})
+	rep.FindingN = len(rep.Findings)
+	rep.SuppressedN = len(rep.Suppressed)
+	return rep
+}
+
+// writeJSON emits the report to path ("-" = stdout). Files are written
+// through checkpoint.WriteFileAtomic like every other artifact, so a killed
+// CI job never leaves a truncated report for the uploader to archive.
+func writeJSON(path string, rep jsonReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return checkpoint.WriteFileAtomic(path, data, 0o644)
+}
+
+// emitGitHub prints one GitHub Actions workflow command per finding, so the
+// findings annotate the offending lines directly in the pull-request diff.
+func emitGitHub(rep jsonReport) {
+	for _, f := range rep.Findings {
+		// "::error file={file},line={line},col={col}::{message}"; the
+		// message must stay on one line (our findings always are).
+		fmt.Printf("::error file=%s,line=%d,col=%d::[%s] %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+	}
+}

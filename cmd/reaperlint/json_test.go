@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"testing"
+
+	"reaper/internal/lint"
+)
+
+func sampleResult() lint.Result {
+	mk := func(file string, line int, rule, msg string) lint.Finding {
+		return lint.Finding{
+			Pos:     token.Position{Filename: file, Line: line, Column: 3},
+			Rule:    rule,
+			Message: msg,
+		}
+	}
+	return lint.Result{
+		Findings: []lint.Finding{
+			mk("/mod/internal/b/b.go", 10, "no-panic", "second"),
+			mk("/mod/internal/a/a.go", 20, "map-order", "third by file"),
+			mk("/mod/internal/a/a.go", 5, "no-panic", "first"),
+		},
+		Suppressed: map[string]int{},
+	}
+}
+
+// TestBuildReportStable pins the artifact contract: module-relative
+// slash-separated paths, (file, line, rule) ordering, and byte-identical
+// output across repeated runs over the same result.
+func TestBuildReportStable(t *testing.T) {
+	res := sampleResult()
+	rep := buildReport("/mod", res, lint.Analyzers(), 3)
+
+	var files []string
+	for _, f := range rep.Findings {
+		files = append(files, f.File)
+	}
+	want := []string{"internal/a/a.go", "internal/a/a.go", "internal/b/b.go"}
+	if !reflect.DeepEqual(files, want) {
+		t.Errorf("finding files = %v, want %v", files, want)
+	}
+	if rep.Findings[0].Line != 5 || rep.Findings[1].Line != 20 {
+		t.Errorf("findings not line-ordered within a file: %+v", rep.Findings)
+	}
+	if rep.FindingN != 3 || rep.PackageN != 3 {
+		t.Errorf("counts = (%d findings, %d packages), want (3, 3)", rep.FindingN, rep.PackageN)
+	}
+
+	a, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(buildReport("/mod", res, lint.Analyzers(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("repeated buildReport calls are not byte-identical")
+	}
+}
+
+// TestBuildReportCleanRun pins that a clean run keeps both list keys as
+// empty arrays (not nulls) so downstream consumers need no nil checks.
+func TestBuildReportCleanRun(t *testing.T) {
+	rep := buildReport("/mod", lint.Result{Suppressed: map[string]int{}}, lint.Analyzers(), 1)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"findings", "suppressed"} {
+		if _, ok := decoded[key].([]any); !ok {
+			t.Errorf("%s is %T, want an (empty) array", key, decoded[key])
+		}
+	}
+}

@@ -6,12 +6,19 @@
 //
 // Usage:
 //
-//	reaperlint [-rules list] [-md] [-v] [packages...]
+//	reaperlint [-rules list] [-md] [-v] [-json file] [-github] [packages...]
 //
 // Package patterns are module-relative directories; "./..." (the default)
-// scans the whole module. Test files and testdata are excluded: the rules
-// govern shipped simulator code. -md additionally verifies that every
-// relative link in the module's markdown docs resolves to a real file.
+// scans the whole module. Test files and testdata are excluded from the
+// analyzers (stale-suppression still inspects _test.go directives). -md
+// additionally verifies that every relative link in the module's markdown
+// docs resolves to a real file.
+//
+// -json writes a stable machine-readable report (sorted findings with
+// rule/file/line/col/message plus the suppressions that fired) to the given
+// file, atomically, or to stdout with "-". -github additionally prints one
+// GitHub Actions ::error workflow command per finding so CI annotates the
+// offending lines in the pull-request diff.
 //
 // Findings print as
 //
@@ -35,13 +42,15 @@ func main() {
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	md := flag.Bool("md", false, "also check relative links in the module's markdown docs")
 	verbose := flag.Bool("v", false, "list every suppression with its justification")
+	jsonPath := flag.String("json", "", "write a stable JSON report to this file (\"-\" = stdout)")
+	github := flag.Bool("github", false, "print GitHub Actions ::error annotations for findings")
 	flag.Parse()
 
-	status := run(*rules, *md, *verbose, flag.Args())
+	status := run(*rules, *md, *verbose, *jsonPath, *github, flag.Args())
 	os.Exit(status)
 }
 
-func run(rules string, md, verbose bool, patterns []string) int {
+func run(rules string, md, verbose bool, jsonPath string, github bool, patterns []string) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reaperlint:", err)
@@ -100,6 +109,18 @@ func run(rules string, md, verbose bool, patterns []string) int {
 	}
 	for _, f := range res.Findings {
 		fmt.Println(rel(loader.Root, f))
+	}
+	if jsonPath != "" || github {
+		rep := buildReport(loader.Root, res, analyzers, len(pkgs))
+		if github {
+			emitGitHub(rep)
+		}
+		if jsonPath != "" {
+			if err := writeJSON(jsonPath, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "reaperlint:", err)
+				return 2
+			}
+		}
 	}
 	if verbose {
 		for _, s := range res.Suppressions {

@@ -51,8 +51,8 @@ type weakCell struct {
 
 	// nbrCode caches the cell's neighbourhood code for the write epoch
 	// nbrEpoch; valid only while nbrEpoch == Device.contentEpoch.
-	nbrCode  uint64
-	nbrEpoch uint64
+	nbrCode  uint64 //lint:serialized-elsewhere per-epoch memo; recomputed on the first sample after restore
+	nbrEpoch uint64 //lint:serialized-elsewhere per-epoch memo; stale by construction until it matches the restored contentEpoch
 
 	// vrt is non-nil for cells with variable retention time.
 	vrt *vrtState

@@ -105,7 +105,7 @@ type rowState struct {
 type Device struct {
 	cfg  Config
 	geom Geometry
-	vend VendorParams
+	vend VendorParams //lint:serialized-elsewhere pure function of cfg; rebuilt by construction, guarded by the in-band cfg.Seed check
 
 	weak  []*weakCell // all weak cells, sorted by bit index
 	byRow map[uint32][]*weakCell
@@ -114,14 +114,15 @@ type Device struct {
 	// chunks are abandoned (the cells carved from them keep them alive),
 	// never grown, so &cellArena[i] stays valid for the device's lifetime
 	// while construction pays ~1 allocation per chunk instead of per cell.
+	//lint:serialized-elsewhere allocation backing store; restore re-carves cells through the same arena allocator
 	cellArena []weakCell
 
 	// Sparse active-window index (see index.go): the weak population sorted
 	// by activation key, the parallel key array binary-searched per sweep,
 	// the overlay of currently stuck cells, a reusable band scratch slice,
 	// and the cumulative disposition counters.
-	actCells  []*weakCell
-	actKeys   []float64
+	actCells  []*weakCell //lint:serialized-elsewhere active-window index; rebuilt from the restored weak population by rebuildIndex
+	actKeys   []float64   //lint:serialized-elsewhere parallel key array of actCells; rebuilt by rebuildIndex
 	stuckList []*weakCell
 	band      []*weakCell
 	idx       IndexStats
@@ -146,8 +147,8 @@ type Device struct {
 	// the shard fan-out of banked full-device sweeps; shards is the reusable
 	// per-bank scratch.
 	bankSrcs     []*rng.Source
-	bankBits     uint64
-	sweepWorkers int
+	bankBits     uint64 //lint:serialized-elsewhere pure function of geometry and bank count; recomputed by construction
+	sweepWorkers int    //lint:serialized-elsewhere execution-tuning knob, not simulated state; results are worker-count invariant
 	shards       []bankShard
 	bank         BankStats
 

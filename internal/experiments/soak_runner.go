@@ -25,7 +25,7 @@ import (
 // state after every segment so a killed campaign resumes — or a panicked
 // shard retries — from the last barrier with bit-identical behavior.
 type soakRunner struct {
-	cfg  SoakConfig
+	cfg  SoakConfig //lint:serialized-elsewhere campaign config; resume requires the identical config, guarded by the campaign-meta digest
 	idx  int
 	seed uint64
 

@@ -147,14 +147,14 @@ var channelNames = [numChannels]string{
 // Injector drives a scenario against one station. Not safe for concurrent
 // use; in a fleet soak each chip owns its own injector.
 type Injector struct {
-	st     *memctrl.Station
+	st     *memctrl.Station //lint:serialized-elsewhere station wiring; the stack is rebuilt by construction before RestoreState
 	sc     Scenario
-	target float64
+	target float64 //lint:serialized-elsewhere pure function of the Scenario; recomputed by construction
 
 	streams [numChannels]*rng.Source
 	nextAt  [numChannels]float64 // station clock of next fire; +Inf = off
 
-	shield      *mitigate.ArchShield
+	shield      *mitigate.ArchShield //lint:serialized-elsewhere component wiring; re-attached by construction before RestoreState
 	baseAmbient float64
 	excursion   *thermal.Excursion
 	excNextAt   float64 // next decay update for the active excursion
@@ -163,9 +163,9 @@ type Injector struct {
 	counts map[string]int
 
 	// Telemetry (see Instrument); nil on an uninstrumented injector.
-	tele       *telemetry.Registry
-	tracer     *telemetry.Tracer
-	teleLabels []telemetry.Label
+	tele       *telemetry.Registry //lint:serialized-elsewhere telemetry wiring; re-attached by Instrument, nil-safe when absent
+	tracer     *telemetry.Tracer   //lint:serialized-elsewhere telemetry wiring; the tracer checkpoints through its own codec
+	teleLabels []telemetry.Label   //lint:serialized-elsewhere telemetry wiring; re-attached by Instrument, nil-safe when absent
 }
 
 // New builds an injector for a station operating at targetInterval. The

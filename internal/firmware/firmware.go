@@ -87,7 +87,7 @@ const (
 
 // Manager runs online profiling on one station.
 type Manager struct {
-	st  *memctrl.Station
+	st  *memctrl.Station //lint:serialized-elsewhere station wiring; the stack is rebuilt by construction before RestoreState
 	cfg Config
 
 	profile          *core.FailureSet
@@ -95,7 +95,7 @@ type Manager struct {
 	lastRoundEnd     float64 // station clock, seconds
 	profilingSeconds float64
 	startClock       float64
-	cadenceSeconds   float64
+	cadenceSeconds   float64 //lint:serialized-elsewhere pure function of Config; reconstructed by New
 
 	// Effective profiling conditions; start at cfg.Reach/cfg.Profiling and
 	// are widened by the resilience controller on repeated escapes.
@@ -108,9 +108,9 @@ type Manager struct {
 	retryAt      float64
 
 	// Resilience controller state (see resilience.go).
-	res             ResilienceConfig
-	ladder          []float64 // degraded intervals, most extended first
-	degradeLevel    int       // 0 = target interval, len(ladder) = last rung
+	res             ResilienceConfig //lint:serialized-elsewhere thresholds are a pure function of Config; reconstructed by New
+	ladder          []float64        // degraded intervals, most extended first
+	degradeLevel    int              // 0 = target interval, len(ladder) = last rung
 	cleanWindows    int
 	escapeStreak    int
 	widenSteps      int
@@ -130,12 +130,12 @@ type Manager struct {
 
 	// Telemetry (see Instrument). All fields stay nil on an uninstrumented
 	// manager; nil handles are no-ops.
-	tele       *telemetry.Registry
-	tracer     *telemetry.Tracer
-	teleLabels []telemetry.Label
-	cRounds    *telemetry.Counter
-	gDegrade   *telemetry.Gauge
-	gInterval  *telemetry.Gauge
+	tele       *telemetry.Registry //lint:serialized-elsewhere telemetry wiring; re-attached by Instrument, nil-safe when absent
+	tracer     *telemetry.Tracer   //lint:serialized-elsewhere telemetry wiring; the tracer checkpoints through its own codec
+	teleLabels []telemetry.Label   //lint:serialized-elsewhere telemetry wiring; re-attached by Instrument, nil-safe when absent
+	cRounds    *telemetry.Counter  //lint:serialized-elsewhere telemetry handle; counter state lives in the Registry snapshot
+	gDegrade   *telemetry.Gauge    //lint:serialized-elsewhere telemetry handle; gauge state lives in the Registry snapshot
+	gInterval  *telemetry.Gauge    //lint:serialized-elsewhere telemetry handle; gauge state lives in the Registry snapshot
 }
 
 // New builds a manager and computes its cadence.

@@ -18,6 +18,9 @@ func Analyzers() []*Analyzer {
 		CtxFirst,
 		ExportedDoc,
 		RawArtifactWrite,
+		SerializeExhaustive,
+		RngStreamDiscipline,
+		StaleSuppression,
 	}
 }
 

@@ -34,6 +34,11 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// TestFiles are the package's _test.go files, parsed but not
+	// type-checked. Analyzers do not run on them; they exist so
+	// stale-suppression can flag //lint:ignore directives that can never
+	// have any effect there.
+	TestFiles []*ast.File
 }
 
 // IsMain reports whether the package is a command (package main).
@@ -88,7 +93,9 @@ const directivePrefix = "lint:ignore"
 
 // parseSuppressions extracts //lint:ignore directives from a file, keyed by
 // the source line they govern. A directive governs its own line; when it is
-// the only thing on its line, it governs the next line instead.
+// the only thing on its line, it governs the next line instead. The rule
+// field may name several comma-separated rules (//lint:ignore a,b reason);
+// each becomes its own Suppression sharing the directive's position.
 func parseSuppressions(fset *token.FileSet, f *ast.File) []*Suppression {
 	var out []*Suppression
 	for _, cg := range f.Comments {
@@ -99,14 +106,26 @@ func parseSuppressions(fset *token.FileSet, f *ast.File) []*Suppression {
 			}
 			pos := fset.Position(c.Pos())
 			fields := strings.Fields(text)
-			s := &Suppression{Pos: pos}
-			if len(fields) > 0 {
-				s.Rule = fields[0]
-			}
+			reason := ""
 			if len(fields) > 1 {
-				s.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				reason = strings.TrimSpace(strings.Join(fields[1:], " "))
 			}
-			out = append(out, s)
+			var rules []string
+			if len(fields) > 0 {
+				for _, r := range strings.Split(fields[0], ",") {
+					if r != "" {
+						rules = append(rules, r)
+					}
+				}
+			}
+			if len(rules) == 0 {
+				// Bare (or comma-only) directive: keep one malformed entry
+				// so the lint-directive check can flag it.
+				rules = []string{""}
+			}
+			for _, r := range rules {
+				out = append(out, &Suppression{Pos: pos, Rule: r, Reason: reason})
+			}
 		}
 	}
 	return out
@@ -180,10 +199,25 @@ func (idx suppressionIndex) match(f Finding) *Suppression {
 // Run executes the analyzers over the packages, applying suppressions.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 	res := Result{Suppressed: map[string]int{}}
+	active := map[string]bool{}
+	staleOn := false
+	for _, a := range analyzers {
+		active[a.Name] = true
+		if a.Name == StaleSuppression.Name {
+			staleOn = true
+		}
+	}
 	for _, p := range pkgs {
 		idx, all := buildSuppressionIndex(p)
+		malformedAt := map[token.Position]bool{}
 		for _, s := range all {
 			if s.Rule == "" || s.Reason == "" {
+				// A multi-rule directive without a reason expands to several
+				// Suppressions at one position; report the comment once.
+				if malformedAt[s.Pos] {
+					continue
+				}
+				malformedAt[s.Pos] = true
 				res.Findings = append(res.Findings, Finding{
 					Pos:     s.Pos,
 					Rule:    "lint-directive",
@@ -207,6 +241,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 				res.Findings = append(res.Findings, f)
 			}
 			a.Run(p, report)
+		}
+		// stale-suppression runs after every other analyzer so the used
+		// flags reflect the whole run: a well-formed directive for an
+		// active rule that silenced nothing is itself rot.
+		if staleOn {
+			staleSuppressionPass(p, idx, all, active, &res)
 		}
 		// Snapshot the directives only after every analyzer has run, so
 		// each copy's used flag reflects this run.

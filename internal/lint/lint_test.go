@@ -110,6 +110,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"exported-doc/main-allowed", "panicmain", "reaper/cmd/panicmain", ExportedDoc, false},
 		{"raw-artifact-write/library", "writefix", "reaper/internal/writefix", RawArtifactWrite, true},
 		{"raw-artifact-write/checkpoint-allowed", "writefix", "reaper/internal/checkpoint", RawArtifactWrite, false},
+		{"serialize-exhaustive", "serfix", "reaper/internal/serfix", SerializeExhaustive, true},
+		{"rng-stream-discipline", "rngfix", "reaper/internal/rngfix", RngStreamDiscipline, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

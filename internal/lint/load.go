@@ -163,10 +163,20 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	var files, testFiles []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			// Test files are parsed but never type-checked: analyzers do
+			// not run on them, but stale-suppression inspects their
+			// //lint:ignore directives (which can never fire there). An
+			// unparseable test file is the compiler's problem, not ours.
+			if f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments); err == nil {
+				testFiles = append(testFiles, f)
+			}
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -201,12 +211,13 @@ func (l *Loader) check(path, dir string) (*Package, error) {
 	}
 
 	p := &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Pkg:   tpkg,
-		Info:  info,
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Pkg:       tpkg,
+		Info:      info,
+		TestFiles: testFiles,
 	}
 	l.pkgs[path] = p
 	return p, nil

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file implements stale-suppression, the rot guard for the
+// suppression machinery itself.
+//
+// Every //lint:ignore directive in the tree is a standing exception to an
+// invariant, justified in place. Exceptions age badly: the code it excused
+// moves or is rewritten, the directive stays behind, and a year later
+// nobody can tell which of the "justified" suppressions still suppress
+// anything. stale-suppression closes the loop — a directive that names an
+// active rule but silenced no finding in the run is itself a finding, so
+// the set of exceptions can only shrink as violations are fixed.
+//
+// Two directive classes are unconditionally stale:
+//
+//   - directives naming a rule that ran and matched nothing, and
+//   - any directive in a _test.go file: analyzers only run on shipped
+//     package files, so a test-file directive can never suppress anything.
+//
+// A directive naming a rule that was filtered out of the run (e.g.
+// `reaperlint -rules exported-doc`) is NOT flagged — it may well be load-
+// bearing under the full suite, and only a full run can tell.
+
+// StaleSuppression flags //lint:ignore directives that no longer suppress
+// any finding. Its Run is a no-op: the check needs the used flags of every
+// directive after all other analyzers finish, so the framework special-
+// cases it at the end of each package's run (see Run in lint.go).
+var StaleSuppression = &Analyzer{
+	Name: "stale-suppression",
+	Doc:  "//lint:ignore directives that suppress nothing are themselves findings",
+	Run:  func(p *Package, report func(ast.Node, string, ...any)) {},
+}
+
+// staleSuppressionPass emits stale findings for one package after every
+// other analyzer has run. Findings are suppressible like any other — a
+// trailing `//lint:ignore stale-suppression <reason>` on the directive's
+// own line keeps a deliberately dormant exception.
+func staleSuppressionPass(p *Package, idx suppressionIndex, all []*Suppression, active map[string]bool, res *Result) {
+	emit := func(f Finding) {
+		if s := idx.match(f); s != nil {
+			s.used = true
+			res.Suppressed[StaleSuppression.Name]++
+			return
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	for _, s := range all {
+		// Malformed directives are lint-directive findings already.
+		if s.Rule == "" || s.Reason == "" {
+			continue
+		}
+		if s.used || !active[s.Rule] {
+			continue
+		}
+		emit(Finding{
+			Pos:  s.Pos,
+			Rule: StaleSuppression.Name,
+			Message: "stale suppression: //lint:ignore " + s.Rule +
+				" no longer matches any finding; delete the directive",
+		})
+	}
+	// Directives stranded in test files can never fire at all. A
+	// multi-rule directive expands to one Suppression per rule at one
+	// position; report the comment once.
+	seen := map[string]bool{}
+	for _, f := range p.TestFiles {
+		for _, s := range parseSuppressions(p.Fset, f) {
+			key := s.Pos.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			emit(Finding{
+				Pos:     s.Pos,
+				Rule:    StaleSuppression.Name,
+				Message: "//lint:ignore in a _test.go file has no effect: analyzers run only on shipped package files; delete the directive",
+			})
+		}
+	}
+}

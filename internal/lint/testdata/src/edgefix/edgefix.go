@@ -1,0 +1,19 @@
+// Package edgefix exercises //lint:ignore edge cases: a multi-rule
+// directive (comma-separated rule list, one shared reason) silencing two
+// different findings on one line, and a directive governing a declaration
+// rather than a statement.
+package edgefix
+
+import (
+	"context"
+	"time"
+)
+
+// Exported keeps a legacy trailing-context signature for ABI comparison.
+//lint:ignore ctx-first fixture: legacy signature retained deliberately
+func Exported(n int, ctx context.Context) {}
+
+func both() {
+	//lint:ignore no-panic,nondeterm-time fixture: one directive silences both rules
+	panic(time.Now())
+}

@@ -1,0 +1,70 @@
+// Package serfix is the serialize-exhaustive fixture: one checkpointed
+// struct exercising every disposition the analyzer distinguishes — the
+// round-trip, the two one-sided drift cases, derived-on-restore resets,
+// justified and stale waivers, and codec-named helper expansion.
+package serfix
+
+import "reaper/internal/checkpoint"
+
+// config is read by the codec only as an in-band guard; no field of it is
+// an assignment target on restore, so it is not a checkpoint surface and
+// its fields are never flagged.
+type config struct {
+	seed  uint64
+	knobs uint64
+}
+
+// inner round-trips through encodeInner/decodeInner helpers; the analyzer
+// must follow codec-named same-package calls to see x covered.
+type inner struct {
+	x uint64
+	y uint64 // WANT serialize-exhaustive
+}
+
+type widget struct {
+	cfg config
+	in  inner
+
+	a uint64
+	b uint64 // WANT serialize-exhaustive
+	c uint64 // WANT serialize-exhaustive
+	d uint64 // WANT serialize-exhaustive
+	e uint64 //lint:serialized-elsewhere rebuilt from cfg by construction
+	f uint64
+	//lint:serialized-elsewhere stale on purpose: g is in fact encoded
+	g uint64 // WANT serialize-exhaustive
+	//lint:serialized-elsewhere
+	h uint64 // WANT serialize-exhaustive
+}
+
+// EncodeState writes the widget's mutable state.
+func (w *widget) EncodeState(e *checkpoint.Encoder) error {
+	e.U64(w.cfg.seed) // in-band guard
+	e.U64(w.a)
+	e.U64(w.d) // drift: never restored
+	e.U64(w.g) // makes the waiver on g stale
+	e.U64(w.h)
+	encodeInner(e, &w.in)
+	return nil
+}
+
+// RestoreState reads state written by EncodeState.
+func (w *widget) RestoreState(d *checkpoint.Decoder) error {
+	if d.U64() != w.cfg.seed {
+		return d.Err()
+	}
+	w.a = d.U64()
+	w.c = d.U64() // drift: never encoded
+	w.h = d.U64()
+	w.f = 0 // derived: reset without consuming the stream
+	decodeInner(d, &w.in)
+	return d.Err()
+}
+
+func encodeInner(e *checkpoint.Encoder, in *inner) {
+	e.U64(in.x)
+}
+
+func decodeInner(d *checkpoint.Decoder, in *inner) {
+	in.x = d.U64()
+}

@@ -1,0 +1,25 @@
+// Package stalefix is the stale-suppression fixture. Directives whose
+// reason contains the word STALE are the ones the analyzer must flag; the
+// dedicated test derives its expectations from that convention rather than
+// from WANT markers, because a stale finding lands on the directive's own
+// line — where a second marker comment cannot go.
+package stalefix
+
+import "fmt"
+
+// guard carries a directive that still suppresses a live finding: used,
+// therefore not stale.
+func guard(ok bool) error {
+	if !ok {
+		//lint:ignore no-panic fixture: this suppression is exercised and stays used
+		panic("unreachable")
+	}
+	return fmt.Errorf("stalefix: not ok")
+}
+
+// healed once panicked; the panic was fixed but the directive was left
+// behind — exactly the rot stale-suppression exists to catch.
+func healed() int {
+	//lint:ignore no-panic STALE the panic this excused was removed
+	return 1
+}

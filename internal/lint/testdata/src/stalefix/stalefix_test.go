@@ -1,0 +1,9 @@
+package stalefix
+
+// Analyzers never run on _test.go files, so a directive here can never
+// suppress anything: stale-suppression must flag it unconditionally.
+
+func helper() int {
+	//lint:ignore no-panic STALE directives cannot fire in test files
+	return 2
+}

@@ -96,13 +96,13 @@ func (s Stats) Total() float64 {
 // Station couples a device, a clock, timing, and (optionally) a thermal
 // chamber into the test interface profilers drive.
 type Station struct {
-	dev     *dram.Device
-	chamber *thermal.Chamber // may be nil: temperature fixed
+	dev     *dram.Device     //lint:serialized-elsewhere the device checkpoints through its own EncodeState/RestoreState pair
+	chamber *thermal.Chamber //lint:serialized-elsewhere may be nil (temperature fixed); thermal state rides on the device's tempC
 	clock   Clock
-	timing  Timing
+	timing  Timing //lint:serialized-elsewhere pure function of the construction parameters
 	refresh bool
 	stats   Stats
-	trace   *Trace
+	trace   *Trace //lint:serialized-elsewhere observability ring buffer; not simulated state, empty after resume by design
 }
 
 // NewStation builds a station for the device. chamber may be nil, in which

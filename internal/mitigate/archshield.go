@@ -28,8 +28,8 @@ type WordAddr struct {
 // used in the paper's Section 7.1.1. The reserved segment is assumed to be
 // verified strong (in the real design it is ECC-protected and scrubbed).
 type ArchShield struct {
-	st   *memctrl.Station
-	geom dram.Geometry
+	st   *memctrl.Station //lint:serialized-elsewhere station wiring; the stack is rebuilt by construction before RestoreState
+	geom dram.Geometry    //lint:serialized-elsewhere copied from the station's device geometry at construction
 
 	// reservedFromRow is the first reserved global row; rows at or beyond
 	// it hold remapped words and are not part of the visible address space.

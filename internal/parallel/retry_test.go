@@ -44,7 +44,8 @@ func TestMapPartialQuarantinesPersistentFailure(t *testing.T) {
 					return 0, fmt.Errorf("shard %d is poisoned", i)
 				}
 				if i == 5 {
-					//lint:ignore no-panic test fixture: the pool must convert worker panics to failures
+					// no-panic does not govern test files; this panic is the
+					// fixture the pool must convert to a JobFailure.
 					panic("boom")
 				}
 				return i, nil

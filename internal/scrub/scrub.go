@@ -28,9 +28,9 @@ import (
 // (modelling the ECC DIMM's extra devices, which this testbed does not
 // simulate at cell level).
 type ECCMemory struct {
-	st     *memctrl.Station
+	st     *memctrl.Station //lint:serialized-elsewhere station wiring; the stack is rebuilt by construction before RestoreState
 	checks map[mitigate.WordAddr]uint8
-	mapper func(mitigate.WordAddr) mitigate.WordAddr
+	mapper func(mitigate.WordAddr) mitigate.WordAddr //lint:serialized-elsewhere remap closure; re-attached by SetMapper when the shield is rebuilt
 }
 
 // NewECCMemory wraps a station.
@@ -128,7 +128,7 @@ type ScrubReport struct {
 // rewriting the corrected data, and accumulates the profile of addresses
 // observed to fail — the AVATAR retention profile.
 type Scrubber struct {
-	mem     *ECCMemory
+	mem     *ECCMemory       //lint:serialized-elsewhere memory wiring; the stack is rebuilt by construction before RestoreState
 	profile *core.FailureSet // failing *word* bit addresses (first bit of word)
 	// UncorrectableTotal counts double-bit (SECDED-fatal) events seen.
 	UncorrectableTotal int
@@ -138,9 +138,9 @@ type Scrubber struct {
 	history []ScrubReport
 
 	// Telemetry (see Instrument); nil on an uninstrumented scrubber.
-	tele       *telemetry.Registry
-	tracer     *telemetry.Tracer
-	teleLabels []telemetry.Label
+	tele       *telemetry.Registry //lint:serialized-elsewhere telemetry wiring; re-attached by Instrument, nil-safe when absent
+	tracer     *telemetry.Tracer   //lint:serialized-elsewhere telemetry wiring; the tracer checkpoints through its own codec
+	teleLabels []telemetry.Label   //lint:serialized-elsewhere telemetry wiring; re-attached by Instrument, nil-safe when absent
 }
 
 // NewScrubber builds a scrubber over an ECC memory.
