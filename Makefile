@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-go bench-parallel benchdiff soak-quick soak-resume-quick lint lint-json lint-fixtures
+.PHONY: all build vet test race check bench bench-go bench-parallel benchdiff soak-quick soak-resume-quick serve-quick lint lint-json lint-fixtures
 
 all: check
 
@@ -45,6 +45,14 @@ soak-resume-quick:
 	cmp $(RESUME_DIR)/ref.json $(RESUME_DIR)/resumed.json
 	@echo "soak-resume-quick: resumed report byte-identical to uninterrupted run"
 
+# serve-quick is the profiling-service smoke test: cmd/reaperd -selftest
+# starts the daemon on a loopback port, submits a small test program twice
+# through the Go client, and requires both result documents byte-identical
+# and structurally sound (API.md "Determinism contract"). Exits non-zero
+# on any mismatch.
+serve-quick:
+	$(GO) run ./cmd/reaperd -selftest
+
 # lint runs reaperlint, the repo's own determinism-and-safety analyzer suite
 # (see DESIGN.md "Invariants"). Exits non-zero on any unsuppressed finding.
 lint:
@@ -63,7 +71,7 @@ lint-json:
 lint-fixtures:
 	$(GO) test -race -short ./internal/lint
 
-check: build vet lint race soak-quick soak-resume-quick
+check: build vet lint race soak-quick soak-resume-quick serve-quick
 
 # bench regenerates BENCH_device.json: the device read-path microbenchmarks
 # (ReadCompareAll / RestoreAll) at three weak-cell densities, with the

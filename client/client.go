@@ -1,0 +1,235 @@
+// Package client is the Go client for the reaperd profiling service
+// (internal/reaperd, cmd/reaperd): submit declarative test programs, poll
+// their status, and fetch results over the HTTP/JSON API documented in
+// API.md.
+//
+// The client is a thin, dependency-free wrapper over net/http. It adds no
+// randomness and no retries of its own, so the service's determinism
+// contract passes through untouched: submitting the same program bytes
+// twice yields byte-identical result documents.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"reaper/internal/reaperd"
+	"reaper/internal/telemetry"
+	"reaper/internal/testprog"
+)
+
+// Client talks to one reaperd server. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8377"). The URL must not include the /v1 prefix.
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+}
+
+// WithHTTPClient swaps the underlying *http.Client (custom transports,
+// timeouts, httptest clients) and returns c for chaining.
+func (c *Client) WithHTTPClient(h *http.Client) *Client {
+	c.http = h
+	return c
+}
+
+// APIError is a non-2xx response from the server, carrying the decoded
+// {"error": ...} envelope.
+type APIError struct {
+	// StatusCode is the HTTP status the server answered with.
+	StatusCode int
+	// Message is the server's error description.
+	Message string
+}
+
+// Error renders the status code and server message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("reaperd: %d: %s", e.StatusCode, e.Message)
+}
+
+// do issues one request and returns the response body, translating non-2xx
+// responses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: build %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er reaperd.ErrorResponse
+		if json.Unmarshal(out, &er) == nil && er.Error != "" {
+			return nil, &APIError{StatusCode: resp.StatusCode, Message: er.Error}
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(out))}
+	}
+	return out, nil
+}
+
+// decode unmarshals a JSON body into v.
+func decode[T any](body []byte) (T, error) {
+	var v T
+	if err := json.Unmarshal(body, &v); err != nil {
+		return v, fmt.Errorf("client: decode response: %w", err)
+	}
+	return v, nil
+}
+
+// Submit posts a test-program document (raw JSON, see API.md for the
+// schema) and returns its queued Status. The server validates strictly;
+// rejected programs surface as an *APIError with status 400.
+func (c *Client) Submit(ctx context.Context, program []byte) (reaperd.Status, error) {
+	body, err := c.do(ctx, http.MethodPost, "/v1/programs", program)
+	if err != nil {
+		return reaperd.Status{}, err
+	}
+	return decode[reaperd.Status](body)
+}
+
+// Status fetches one program's current Status.
+func (c *Client) Status(ctx context.Context, id string) (reaperd.Status, error) {
+	body, err := c.do(ctx, http.MethodGet, "/v1/programs/"+id, nil)
+	if err != nil {
+		return reaperd.Status{}, err
+	}
+	return decode[reaperd.Status](body)
+}
+
+// List fetches every submitted program in submission order.
+func (c *Client) List(ctx context.Context) ([]reaperd.Status, error) {
+	body, err := c.do(ctx, http.MethodGet, "/v1/programs", nil)
+	if err != nil {
+		return nil, err
+	}
+	list, err := decode[reaperd.ProgramList](body)
+	if err != nil {
+		return nil, err
+	}
+	return list.Programs, nil
+}
+
+// ResultBytes fetches a done program's raw result document — the exact
+// bytes the determinism contract speaks about.
+func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/programs/"+id+"/result", nil)
+}
+
+// Result fetches and decodes a done program's result document.
+func (c *Client) Result(ctx context.Context, id string) (*testprog.Result, error) {
+	body, err := c.ResultBytes(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	res, err := decode[*testprog.Result](body)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Cancel requests cancellation and returns the resulting Status. Cancel is
+// idempotent; cancelling a finished program leaves it untouched.
+func (c *Client) Cancel(ctx context.Context, id string) (reaperd.Status, error) {
+	body, err := c.do(ctx, http.MethodPost, "/v1/programs/"+id+"/cancel", nil)
+	if err != nil {
+		return reaperd.Status{}, err
+	}
+	return decode[reaperd.Status](body)
+}
+
+// Events fetches the program's progress events (JSONL on the wire). The
+// stream is live observability: accepted/started/finished markers plus one
+// progress event per completed unit.
+func (c *Client) Events(ctx context.Context, id string) ([]telemetry.Event, error) {
+	body, err := c.do(ctx, http.MethodGet, "/v1/programs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	var events []telemetry.Event
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev telemetry.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("client: decode event %q: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: scan events: %w", err)
+	}
+	return events, nil
+}
+
+// Wait polls the program's status every poll interval (<= 0 means 50ms)
+// until it reaches a terminal state (done, failed, cancelled) or ctx is
+// cancelled. It returns the terminal Status; reaching "failed" or
+// "cancelled" is not an error — inspect Status.State.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (reaperd.Status, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return reaperd.Status{}, err
+		}
+		switch st.State {
+		case reaperd.StateDone, reaperd.StateFailed, reaperd.StateCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Run is the submit→wait→result round trip: it submits the program, waits
+// for a terminal state, and returns the decoded result. A failed or
+// cancelled program returns an error quoting its state.
+func (c *Client) Run(ctx context.Context, program []byte, poll time.Duration) (*testprog.Result, error) {
+	st, err := c.Submit(ctx, program)
+	if err != nil {
+		return nil, err
+	}
+	fin, err := c.Wait(ctx, st.ID, poll)
+	if err != nil {
+		return nil, err
+	}
+	if fin.State != reaperd.StateDone {
+		return nil, fmt.Errorf("client: program %s finished %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	return c.Result(ctx, fin.ID)
+}

@@ -1,0 +1,143 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"reaper/client"
+	"reaper/internal/reaperd"
+)
+
+const program = `{
+  "version": 1,
+  "name": "client-smoke",
+  "seed": 7,
+  "fleet": {"bits": 1048576, "weak_scale": 40},
+  "stages": [
+    {"type": "write_pattern", "pattern": "checker"},
+    {"type": "disable_refresh"},
+    {"type": "wait", "seconds": 2},
+    {"type": "enable_refresh"},
+    {"type": "read_compare"}
+  ],
+  "output": {"failing_bits": 4}
+}`
+
+// startService runs a full server (HTTP + scheduler) for the test.
+func startService(t *testing.T) *client.Client {
+	t.Helper()
+	s := reaperd.New(reaperd.Config{JobWorkers: 2})
+	ts := httptest.NewServer(s.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		<-served
+		ts.Close()
+	})
+	return client.New(ts.URL).WithHTTPClient(ts.Client())
+}
+
+// TestRoundTrip drives submit → wait → result → events → list end to end
+// and checks byte-identical results for a resubmission.
+func TestRoundTrip(t *testing.T) {
+	c := startService(t)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, []byte(program))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.State != reaperd.StateQueued || st.Name != "client-smoke" {
+		t.Fatalf("queued status: %+v", st)
+	}
+	fin, err := c.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if fin.State != reaperd.StateDone {
+		t.Fatalf("state %s (error %q)", fin.State, fin.Error)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if res.Kind != "device" || len(res.Chips) != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	first, err := c.ResultBytes(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("ResultBytes: %v", err)
+	}
+
+	res2, err := c.Run(ctx, []byte(program), time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res2.Seed != res.Seed {
+		t.Fatalf("second run seed %d != %d", res2.Seed, res.Seed)
+	}
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("list length %d, want 2", len(list))
+	}
+	second, err := c.ResultBytes(ctx, list[1].ID)
+	if err != nil {
+		t.Fatalf("ResultBytes(second): %v", err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("resubmission result differs")
+	}
+
+	events, err := c.Events(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(events) == 0 || events[0].Kind != "accepted" {
+		t.Fatalf("events: %+v", events)
+	}
+}
+
+// TestAPIErrors checks the error envelope surfaces as *APIError.
+func TestAPIErrors(t *testing.T) {
+	c := startService(t)
+	ctx := context.Background()
+
+	_, err := c.Submit(ctx, []byte(`{"version":1,"seed":1,"stages":[{"type":"warp_drive"}]}`))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Fatalf("invalid submit: %v", err)
+	}
+	if _, err := c.Status(ctx, "p999999"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("unknown status: %v", err)
+	}
+	if _, err := c.ResultBytes(ctx, "p999999"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Fatalf("unknown result: %v", err)
+	}
+}
+
+// TestWaitHonorsContext checks Wait returns promptly on cancellation.
+func TestWaitHonorsContext(t *testing.T) {
+	s := reaperd.New(reaperd.Config{}) // scheduler not running: program stays queued
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL).WithHTTPClient(ts.Client())
+
+	st, err := c.Submit(context.Background(), []byte(program))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Wait(ctx, st.ID, time.Millisecond); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait on cancelled ctx: %v", err)
+	}
+}

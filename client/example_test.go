@@ -1,0 +1,65 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"reaper/client"
+	"reaper/internal/reaperd"
+)
+
+// ExampleClient_Submit submits a small device program to an in-process
+// reaperd, waits for it, and reads the result — the submit→poll→result
+// loop every service consumer runs.
+func ExampleClient_Submit() {
+	// Production deployments run cmd/reaperd and point New at its -addr;
+	// the example hosts the same server in-process.
+	srv := reaperd.New(reaperd.Config{JobWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx) }()
+	defer func() { cancel(); <-served }()
+
+	c := client.New(ts.URL)
+	st, err := c.Submit(ctx, []byte(`{
+	  "version": 1,
+	  "name": "example",
+	  "seed": 42,
+	  "fleet": {"bits": 1048576, "weak_scale": 40},
+	  "stages": [
+	    {"type": "write_pattern", "pattern": "checker"},
+	    {"type": "disable_refresh"},
+	    {"type": "wait", "seconds": 2},
+	    {"type": "enable_refresh"},
+	    {"type": "read_compare"}
+	  ],
+	  "output": {}
+	}`))
+	if err != nil {
+		fmt.Println("submit failed:", err)
+		return
+	}
+	fin, err := c.Wait(ctx, st.ID, time.Millisecond)
+	if err != nil {
+		fmt.Println("wait failed:", err)
+		return
+	}
+	res, err := c.Result(ctx, fin.ID)
+	if err != nil {
+		fmt.Println("result failed:", err)
+		return
+	}
+	fmt.Println("state:", fin.State)
+	fmt.Println("kind:", res.Kind)
+	fmt.Println("chips:", len(res.Chips))
+	fmt.Println("stages:", len(res.Chips[0].Stages))
+	// Output:
+	// state: done
+	// kind: device
+	// chips: 1
+	// stages: 5
+}

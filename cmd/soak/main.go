@@ -46,7 +46,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
 	"syscall"
 
@@ -58,44 +57,12 @@ import (
 	"reaper/internal/telemetry"
 )
 
-// scenarios names the fault-injection presets -scenario accepts. Each entry
-// derives from faultinject.DefaultScenario (with the same seed split the
-// soak harness uses, so "default" is bit-identical to passing no flag) and
-// scales the hazard rates.
-var scenarios = map[string]func(seed uint64, targetInterval float64) *faultinject.Scenario{
-	// The standard soak hazards, unchanged.
-	"default": func(uint64, float64) *faultinject.Scenario { return nil },
-	// Half-rate hazards and no round aborts: a benign deployment.
-	"quiet": func(seed uint64, target float64) *faultinject.Scenario {
-		sc := faultinject.DefaultScenario(seed, target)
-		sc.VRTBurstMeanHours *= 2
-		sc.DPDFlipMeanHours *= 2
-		sc.TempExcursionMeanHours *= 2
-		sc.WeakArrivalPerHour /= 2
-		sc.RoundAbortProb = 0
-		return &sc
-	},
-	// Double-rate hazards, hotter excursions, frequent aborts: a hostile
-	// thermal environment.
-	"harsh": func(seed uint64, target float64) *faultinject.Scenario {
-		sc := faultinject.DefaultScenario(seed, target)
-		sc.VRTBurstMeanHours /= 2
-		sc.DPDFlipMeanHours /= 2
-		sc.TempExcursionMeanHours /= 2
-		sc.TempExcursionPeakC += 4
-		sc.WeakArrivalPerHour *= 2
-		sc.RoundAbortProb = 0.25
-		return &sc
-	},
-}
-
+// The fault-injection presets -scenario accepts live in
+// internal/faultinject (NamedScenario), shared with the test-program
+// "soak" stage so a scenario named in a JSON program is bit-identical to
+// the same name on this command line.
 func scenarioNames() string {
-	names := make([]string, 0, len(scenarios))
-	for name := range scenarios {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
+	return strings.Join(faultinject.ScenarioNames(), ", ")
 }
 
 // main delegates to run so deferred cleanups (CPU profile stop, pprof
@@ -137,8 +104,10 @@ func run() int {
 		log.Printf("soak: -workers must be >= 1 (got %d)", *workers)
 		return exitcode.ConfigError
 	}
-	mkScenario, ok := scenarios[*scenario]
-	if !ok {
+	// The seed split matches the harness's own default-scenario derivation,
+	// so -scenario default is bit-identical to omitting the flag.
+	scenarioOverride, err := faultinject.NamedScenario(*scenario, *seed^0xFA177, *targetMs/1000)
+	if err != nil {
 		log.Printf("soak: unknown scenario %q; valid scenarios: %s", *scenario, scenarioNames())
 		return exitcode.ConfigError
 	}
@@ -185,9 +154,7 @@ func run() int {
 	cfg.TargetInterval = *targetMs / 1000
 	cfg.MaxUBER = *maxUBER
 	cfg.Controller = !*baseline
-	// The seed split matches the harness's own default-scenario derivation,
-	// so -scenario default is bit-identical to omitting the flag.
-	cfg.Scenario = mkScenario(*seed^0xFA177, cfg.TargetInterval)
+	cfg.Scenario = scenarioOverride
 	cfg.Telemetry = reg
 	if *quick {
 		cfg.Chips = 2

@@ -1,0 +1,90 @@
+// Profiling as a service: the REAPER reach-profiling tradeoff study
+// (paper Figures 9-10) expressed as a declarative test program, submitted
+// to an in-process reaperd over its HTTP API, and read back as JSON —
+// campaigns as data instead of Go code. The same program document works
+// unchanged against a standalone `reaperd` daemon; see API.md for the
+// schema and EXPERIMENTS.md ("Campaigns as data") for the walkthrough.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"reaper/client"
+	"reaper/internal/parallel"
+	"reaper/internal/reaperd"
+)
+
+// program is a campaign test program: one tradeoff_grid stage sweeping
+// reach conditions around the 1.024 s / 45°C target on a scale-model chip.
+const program = `{
+  "version": 1,
+  "name": "fig9-fig10-grid",
+  "seed": 1004,
+  "fleet": {"bits": 8388608, "weak_scale": 40},
+  "stages": [
+    {"type": "tradeoff_grid",
+     "target_interval_s": 1.024, "target_temp_c": 45,
+     "delta_intervals_s": [0, 0.25, 0.75],
+     "delta_temps_c": [0, 5],
+     "iterations": 8, "coverage_goal": 0.99, "max_iterations": 64}
+  ],
+  "output": {"include_metrics": true}
+}`
+
+func main() {
+	srv := reaperd.New(reaperd.Config{})
+	ctx, stopServe := context.WithCancel(context.Background())
+	if err := srv.Start(ctx, "127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("reaperd listening on http://%s\n\n", srv.Addr())
+
+	// The scheduler and the client share the worker pool: one slot runs
+	// Serve, the other drives the submit → poll → result loop against it.
+	err := parallel.Do(context.Background(), 2,
+		func(context.Context) error { return srv.Serve(ctx) },
+		func(cctx context.Context) error {
+			defer stopServe()
+			return runCampaign(cctx, "http://"+srv.Addr())
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runCampaign submits the grid program and renders the tradeoff table.
+func runCampaign(ctx context.Context, base string) error {
+	c := client.New(base)
+	st, err := c.Submit(ctx, []byte(program))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (%s, seed %d) — polling\n", st.ID, st.Name, st.Seed)
+	fin, err := c.Wait(ctx, st.ID, 100*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if fin.State != reaperd.StateDone {
+		return fmt.Errorf("program %s finished %s: %s", fin.ID, fin.State, fin.Error)
+	}
+	res, err := c.Result(ctx, fin.ID)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-28s %9s %9s %9s %8s\n",
+		"reach (Δinterval, Δtemp)", "coverage", "FPR", "iters", "runtime")
+	for _, pt := range res.Stages[0].Tradeoff {
+		fmt.Printf("%-28s %8.2f%% %8.4f%% %9d %7.2fx\n",
+			fmt.Sprintf("+%.2fs, +%.0f°C", pt.Reach.DeltaInterval, pt.Reach.DeltaTempC),
+			100*pt.Coverage, 100*pt.FalsePositiveRate,
+			pt.IterationsToGoal, pt.RuntimeRelative)
+	}
+	fmt.Printf("\nsame grid via the Go API: experiments.Fig9Fig10Tradeoff — results are byte-identical.\n")
+	return nil
+}

@@ -269,9 +269,9 @@ func diffStats(after, before memctrl.Stats) memctrl.Stats {
 // Figures 9 and 10).
 type ReachConditions struct {
 	// DeltaInterval is added to the target refresh interval, in seconds.
-	DeltaInterval float64
+	DeltaInterval float64 `json:"delta_interval_s"`
 	// DeltaTempC is added to the target ambient temperature, in °C.
-	DeltaTempC float64
+	DeltaTempC float64 `json:"delta_temp_c"`
 }
 
 // Reach runs reach profiling: it raises the station's ambient temperature by

@@ -89,31 +89,34 @@ func (c *TradeoffConfig) fill() error {
 	return nil
 }
 
-// TradeoffPoint is the measured outcome at one reach condition.
+// TradeoffPoint is the measured outcome at one reach condition. The JSON
+// field names follow the repository-wide lower_snake_case convention
+// (API.md "Naming convention") shared with internal/benchfmt and
+// internal/testprog.
 type TradeoffPoint struct {
-	Reach ReachConditions
+	Reach ReachConditions `json:"reach"`
 
 	// Coverage and FalsePositiveRate are sampled after
 	// TradeoffConfig.Iterations iterations, scored against the reference
 	// at the *target* conditions (empirical brute-force profile or oracle,
 	// per TradeoffConfig.Reference).
-	Coverage          float64
-	FalsePositiveRate float64
+	Coverage          float64 `json:"coverage"`
+	FalsePositiveRate float64 `json:"false_positive_rate"`
 
 	// RuntimeSeconds is the simulated profiling time until CoverageGoal
 	// was reached (or until MaxIterations, if it never was).
-	RuntimeSeconds float64
+	RuntimeSeconds float64 `json:"runtime_seconds"`
 	// RuntimeRelative is RuntimeSeconds normalized to the brute-force
 	// point (Δ = 0, 0); the paper's Figure 10 contours. Zero until
 	// normalized by ExploreTradeoffs.
-	RuntimeRelative float64
+	RuntimeRelative float64 `json:"runtime_relative"`
 	// IterationsToGoal is how many iterations the goal took.
-	IterationsToGoal int
+	IterationsToGoal int `json:"iterations_to_goal"`
 	// ReachedGoal reports whether the coverage goal was attained within
 	// MaxIterations.
-	ReachedGoal bool
+	ReachedGoal bool `json:"reached_goal"`
 	// TruthSize is the reference failing-cell count at the target.
-	TruthSize int
+	TruthSize int `json:"truth_size"`
 }
 
 // Speedup returns the runtime speedup over brute force (1/RuntimeRelative).

@@ -49,26 +49,27 @@ func DefaultPopulationConfig() PopulationConfig {
 	}
 }
 
-// ChipResult is one chip's evaluation.
+// ChipResult is one chip's evaluation. JSON field names follow the
+// repository-wide lower_snake_case convention (API.md "Naming convention").
 type ChipResult struct {
-	Vendor   string
-	Seed     uint64
-	BER1024  float64 // normalized BER at 1024ms/45°C
-	Coverage float64 // at the reach conditions vs oracle truth
-	FPR      float64
+	Vendor   string  `json:"vendor"`
+	Seed     uint64  `json:"seed"`
+	BER1024  float64 `json:"ber_1024"` // normalized BER at 1024ms/45°C
+	Coverage float64 `json:"coverage"` // at the reach conditions vs oracle truth
+	FPR      float64 `json:"fpr"`
 }
 
 // PopulationResult aggregates a vendor's fleet.
 type PopulationResult struct {
-	Vendor        string
-	Chips         []ChipResult
-	BERMean       float64
-	BERStd        float64
-	CoverageMean  float64
-	CoverageMin   float64
-	FPRMean       float64
-	FPRMax        float64
-	AllChipsAgree bool // every chip individually beats brute-force-like coverage
+	Vendor        string       `json:"vendor"`
+	Chips         []ChipResult `json:"chips"`
+	BERMean       float64      `json:"ber_mean"`
+	BERStd        float64      `json:"ber_std"`
+	CoverageMean  float64      `json:"coverage_mean"`
+	CoverageMin   float64      `json:"coverage_min"`
+	FPRMean       float64      `json:"fpr_mean"`
+	FPRMax        float64      `json:"fpr_max"`
+	AllChipsAgree bool         `json:"all_chips_agree"` // every chip individually beats brute-force-like coverage
 }
 
 // populationChip evaluates one flattened (vendor, chip) job.

@@ -1,0 +1,274 @@
+package reaperd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"reaper/internal/telemetry"
+	"reaper/internal/testprog"
+)
+
+// maxProgramBytes bounds a submitted program document. Programs are
+// configuration, not data; 1 MiB is orders of magnitude above any real
+// program and keeps a misdirected upload from ballooning the server.
+const maxProgramBytes = 1 << 20
+
+// routes wires the API onto the server's mux. Method routing and the
+// {id} wildcard use the Go 1.22 ServeMux patterns.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/programs", s.counted("submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/programs", s.counted("list", s.handleList))
+	s.mux.HandleFunc("GET /v1/programs/{id}", s.counted("status", s.handleStatus))
+	s.mux.HandleFunc("GET /v1/programs/{id}/result", s.counted("result", s.handleResult))
+	s.mux.HandleFunc("POST /v1/programs/{id}/cancel", s.counted("cancel", s.handleCancel))
+	s.mux.HandleFunc("GET /v1/programs/{id}/events", s.counted("events", s.handleEvents))
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+}
+
+// counted wraps a handler with the per-route request counter.
+func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("reaperd_http_requests_total", telemetry.L("route", route)).Inc()
+		h(w, r)
+	}
+}
+
+// writeJSON writes v as the response body with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc, err := json.Marshal(v)
+	if err != nil {
+		// Wire types marshal by construction; nothing sane to do here.
+		return
+	}
+	enc = append(enc, '\n')
+	_, _ = w.Write(enc)
+}
+
+// writeError writes the uniform {"error": ...} body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// rejectSubmission counts and reports one rejected submission.
+func (s *Server) rejectSubmission(w http.ResponseWriter, code int, reason, detail string) {
+	s.reg.Counter("reaperd_submissions_rejected_total", telemetry.L("reason", reason)).Inc()
+	writeError(w, code, "%s", detail)
+}
+
+// handleSubmit validates the posted program, registers it, and enqueues
+// it: 202 with the queued Status, 400 on an invalid program, 503 while
+// draining, 429 when the queue is full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProgramBytes+1))
+	if err != nil {
+		s.rejectSubmission(w, http.StatusBadRequest, "invalid", "reading request body: "+err.Error())
+		return
+	}
+	if len(body) > maxProgramBytes {
+		s.rejectSubmission(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("program exceeds %d bytes", maxProgramBytes))
+		return
+	}
+	p, err := testprog.Load(body)
+	if err != nil {
+		s.rejectSubmission(w, http.StatusBadRequest, "invalid", err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejectSubmission(w, http.StatusServiceUnavailable, "draining",
+			"server is draining; not accepting new programs")
+		return
+	}
+	// The capacity check and registration stay under one lock so a job can
+	// never slip into the queue after the drain sweep has emptied it.
+	j := s.newJob(p)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.nextID--
+		s.mu.Unlock()
+		s.rejectSubmission(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("queue full (%d programs waiting)", s.cfg.queueDepth()))
+		return
+	}
+	st := j.status
+	depth := len(s.queue)
+	s.mu.Unlock()
+
+	j.events.Emit(0, "accepted", j.id)
+	s.reg.Counter("reaperd_submissions_total").Inc()
+	s.reg.Gauge("reaperd_queue_depth").Set(float64(depth))
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleList returns every submitted program in submission order.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	list := ProgramList{Programs: make([]Status, 0, len(s.order))}
+	for _, id := range s.order {
+		list.Programs = append(list.Programs, s.jobs[id].status)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, list)
+}
+
+// lookup resolves the {id} path element; nil means a 404 was written.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown program %q", id)
+	}
+	return j
+}
+
+// handleStatus returns one program's Status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	st := j.status
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResult streams the result document of a done program; 409 until
+// the program reaches a terminal state, and for failed/cancelled programs
+// (their Status carries the error instead).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	state := j.status.State
+	result := j.result
+	s.mu.Unlock()
+	if state != StateDone {
+		writeError(w, http.StatusConflict, "program %s is %s; no result document", j.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(result)
+}
+
+// handleCancel requests cancellation: a queued program is cancelled on the
+// spot, a running one has its run context cancelled (the state flips to
+// cancelled once the run unwinds), and a terminal program is left as-is.
+// Always 200 with the current Status — cancel is idempotent.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	j.cancelRequested = true
+	state := j.status.State
+	cancel := j.cancelRun
+	s.mu.Unlock()
+	switch state {
+	case StateQueued:
+		s.finishJob(j, StateCancelled, "", nil)
+	case StateRunning:
+		if cancel != nil {
+			cancel()
+		}
+	}
+	s.mu.Lock()
+	st := j.status
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the program's progress events as JSONL (one
+// telemetry.Event per line): accepted, started, per-unit progress, and
+// finished. Events are live observability — their interleaving across
+// chips is not part of the determinism contract.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = telemetry.WriteJSONL(w, j.events.Events())
+}
+
+// handleHealthz reports liveness and drain state.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := Health{Status: "ok"}
+	if draining {
+		h.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics serves the registry snapshot as JSON — same format as the
+// -metrics-out artifacts and telemetry.StartServer's /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.Snapshot().WriteJSON(w)
+}
+
+// Start binds a TCP listener on addr (":0" picks a free port) and serves
+// the Handler in the background until Close. ctx becomes the base context
+// of every request. The scheduler is separate: run Serve (usually on the
+// caller's main goroutine) or no accepted program will execute.
+func (s *Server) Start(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("reaperd: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:     s.mux,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = srv
+	s.mu.Unlock()
+	//lint:ignore naked-goroutine HTTP accept loop; lifecycle bounded by Close, mirrors telemetry.StartServer
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address after Start (useful with ":0").
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the HTTP listener started by Start. It does not touch the
+// scheduler — cancel Serve's context for a graceful drain first, then
+// Close once Serve returns.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,165 @@
+package reaperd
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+
+	"reaper/internal/parallel"
+	"reaper/internal/telemetry"
+	"reaper/internal/testprog"
+)
+
+// Serve runs the scheduler until ctx is cancelled, then drains: queued and
+// running programs finish (their contexts are detached from ctx via
+// context.WithoutCancel), new submissions are rejected with 503, and Serve
+// returns nil once the queue is empty. It executes programs on its own
+// goroutine — the caller's — pulling batches of up to MaxConcurrent jobs
+// and fanning each batch out on internal/parallel with per-job fault
+// isolation: a program that fails or panics fails alone.
+//
+// Scheduling never affects results: each program's randomness derives from
+// its own seed, so results are byte-identical whatever the batch makeup.
+func (s *Server) Serve(ctx context.Context) error {
+	defer s.beginDrain() // even an idle shutdown must flip submissions to 503
+	for {
+		batch := s.nextBatch(ctx)
+		if len(batch) == 0 {
+			return nil
+		}
+		// Jobs already accepted run to completion during drain: the batch
+		// context deliberately survives ctx cancellation. Per-job
+		// cancellation (the cancel endpoint) wraps this inside runJob.
+		s.runBatch(context.WithoutCancel(ctx), batch)
+	}
+}
+
+// nextBatch blocks until at least one job is queued, then tops the batch
+// up to MaxConcurrent without blocking. When ctx is cancelled it begins
+// the drain instead: everything still queued is returned (concurrency
+// stays bounded by the executor's worker count), and an empty batch means
+// the drain is complete.
+func (s *Server) nextBatch(ctx context.Context) []*job {
+	var batch []*job
+	select {
+	case j := <-s.queue:
+		batch = append(batch, j)
+	case <-ctx.Done():
+		s.beginDrain()
+		for {
+			select {
+			case j := <-s.queue:
+				batch = append(batch, j)
+			default:
+				return batch
+			}
+		}
+	}
+	for len(batch) < s.cfg.maxConcurrent() {
+		select {
+		case j := <-s.queue:
+			batch = append(batch, j)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// beginDrain stops the intake: subsequent submissions get 503. Idempotent.
+func (s *Server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// runBatch executes one batch with per-job fault isolation via
+// parallel.MapPartial: a job that panics surfaces as a JobFailure for that
+// job only, and the rest of the batch completes normally.
+func (s *Server) runBatch(ctx context.Context, batch []*job) {
+	s.reg.Counter("reaperd_batches_total").Inc()
+	s.reg.Gauge("reaperd_queue_depth").Set(float64(len(s.queue)))
+	_, failures, err := parallel.MapPartial(ctx, len(batch), s.cfg.maxConcurrent(),
+		parallel.RetryPolicy{}, // one attempt; re-running a tenant's program is the tenant's call
+		func(ctx context.Context, i int) (struct{}, error) {
+			s.runJob(ctx, batch[i])
+			return struct{}{}, nil
+		})
+	if err != nil {
+		// Unreachable: the batch context is never cancelled (see Serve).
+		return
+	}
+	for _, f := range failures {
+		s.finishJob(batch[f.Job], StateFailed, f.Reason(), nil)
+	}
+}
+
+// runJob executes one program. The job's run context layers the cancel
+// endpoint's per-job cancellation over the batch context.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	s.mu.Lock()
+	if j.status.State != StateQueued {
+		// Cancelled while queued; finishJob already ran.
+		s.mu.Unlock()
+		return
+	}
+	j.status.State = StateRunning
+	j.cancelRun = cancel
+	s.mu.Unlock()
+	j.events.Emit(0, "started", "")
+
+	res, err := testprog.Run(runCtx, j.program, testprog.RunOptions{
+		Workers:       s.cfg.jobWorkers(),
+		Telemetry:     s.reg,
+		TraceCapacity: s.cfg.TraceCapacity,
+		OnProgress: func(ev testprog.ProgressEvent) {
+			s.noteProgress(j, ev)
+		},
+	})
+	switch {
+	case err != nil && runCtx.Err() != nil:
+		s.finishJob(j, StateCancelled, "", nil)
+	case err != nil:
+		s.finishJob(j, StateFailed, err.Error(), nil)
+	default:
+		enc, mErr := json.Marshal(res)
+		if mErr != nil {
+			s.finishJob(j, StateFailed, mErr.Error(), nil)
+			return
+		}
+		s.finishJob(j, StateDone, "", append(enc, '\n'))
+	}
+}
+
+// finishJob records a job's terminal state exactly once; later calls are
+// ignored (e.g. a cancel racing the natural finish).
+func (s *Server) finishJob(j *job, state State, errMsg string, result []byte) {
+	s.mu.Lock()
+	if j.status.State == StateDone || j.status.State == StateFailed || j.status.State == StateCancelled {
+		s.mu.Unlock()
+		return
+	}
+	j.status.State = state
+	j.status.Error = errMsg
+	j.cancelRun = nil
+	j.result = result
+	done := j.status.Done
+	s.mu.Unlock()
+	j.events.Emit(float64(done), "finished", string(state))
+	s.reg.Counter("reaperd_programs_completed_total", telemetry.L("state", string(state))).Inc()
+}
+
+// noteProgress folds one testprog progress unit into the job's status and
+// its event stream. Called concurrently from the run's workers.
+func (s *Server) noteProgress(j *job, ev testprog.ProgressEvent) {
+	s.mu.Lock()
+	j.status.Done = ev.Done
+	j.status.Total = ev.Total
+	s.mu.Unlock()
+	j.events.Emit(float64(ev.Done), "progress", ev.StageType,
+		telemetry.L("chip", strconv.Itoa(ev.Chip)), telemetry.L("stage", strconv.Itoa(ev.Stage)))
+	s.reg.Counter("reaperd_progress_units_total").Inc()
+}

@@ -1,0 +1,46 @@
+package testprog_test
+
+import (
+	"fmt"
+
+	"reaper/internal/testprog"
+)
+
+// ExampleLoad loads a small device program from JSON, shows the strict
+// validation result, and re-encodes it canonically.
+func ExampleLoad() {
+	src := `{
+  "version": 1,
+  "name": "retention-smoke",
+  "seed": 42,
+  "fleet": {"bits": 1048576, "weak_scale": 40},
+  "stages": [
+    {"type": "write_pattern", "pattern": "checker"},
+    {"type": "disable_refresh"},
+    {"type": "wait", "seconds": 2},
+    {"type": "enable_refresh"},
+    {"type": "read_compare", "label": "after-2s"}
+  ],
+  "output": {"failing_bits": 4}
+}`
+	p, err := testprog.Load([]byte(src))
+	if err != nil {
+		fmt.Println("load failed:", err)
+		return
+	}
+	fmt.Println("name:", p.Name)
+	fmt.Println("kind:", p.Kind())
+	fmt.Println("stages:", len(p.Stages))
+
+	// Unknown stage fields are rejected, not ignored.
+	_, err = testprog.Load([]byte(`{
+  "version": 1, "seed": 1,
+  "stages": [{"type": "wait", "seconds": 1, "retries": 3}]
+}`))
+	fmt.Println("strict:", err != nil)
+	// Output:
+	// name: retention-smoke
+	// kind: device
+	// stages: 5
+	// strict: true
+}

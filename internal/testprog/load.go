@@ -1,0 +1,197 @@
+package testprog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Bounds enforced by Validate on the fleet spec, so a malformed program
+// cannot request an absurd simulation.
+const (
+	maxFleetChips = 4096
+	minChipBits   = 1 << 20 // 1 Mbit
+	maxChipBits   = 1 << 32 // 4 Gbit
+	maxWeakScale  = 1000
+	maxNameLen    = 128
+)
+
+// StageTypes returns every registered stage-type token, sorted.
+func StageTypes() []string {
+	out := make([]string, 0, len(stageCodecs))
+	for token := range stageCodecs {
+		out = append(out, token)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// programWire mirrors Program with raw stages, so Load can dispatch each
+// stage to its concrete type and strict-decode it individually.
+type programWire struct {
+	Version int               `json:"version"`
+	Name    string            `json:"name,omitempty"`
+	Seed    uint64            `json:"seed"`
+	Fleet   Fleet             `json:"fleet"`
+	Stages  []json.RawMessage `json:"stages"`
+	Output  Output            `json:"output"`
+}
+
+// Load parses and validates a JSON test program. It is strict: unknown
+// top-level fields, unknown fleet/output fields, unknown stage types, and
+// unknown fields inside any stage are all errors, as is trailing content
+// after the program object. The returned program is validated and
+// normalized (every stage's "type" field is filled).
+func Load(data []byte) (*Program, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w programWire
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("testprog: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("testprog: trailing content after program object")
+	}
+	p := &Program{
+		Version: w.Version,
+		Name:    w.Name,
+		Seed:    w.Seed,
+		Fleet:   w.Fleet,
+		Output:  w.Output,
+	}
+	for i, raw := range w.Stages {
+		s, err := decodeStage(raw, i)
+		if err != nil {
+			return nil, err
+		}
+		p.Stages = append(p.Stages, s)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// decodeStage strict-decodes one raw stage: probe the "type" token, look
+// up the concrete stage type in the closed registry, and reject unknown
+// fields against that type.
+func decodeStage(raw json.RawMessage, i int) (Stage, error) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("testprog: stage %d: %w", i, err)
+	}
+	if probe.Type == "" {
+		return nil, fmt.Errorf("testprog: stage %d: missing \"type\" field", i)
+	}
+	mk, ok := stageCodecs[probe.Type]
+	if !ok {
+		return nil, fmt.Errorf("testprog: stage %d: unknown stage type %q (valid: %s)",
+			i, probe.Type, strings.Join(StageTypes(), ", "))
+	}
+	s := mk()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("testprog: stage %d (%s): %w", i, probe.Type, err)
+	}
+	return s, nil
+}
+
+// fillType normalizes a stage's "type" JSON field to its token. All stage
+// types are pointer structs with a Type string field.
+func fillType(s Stage) {
+	reflect.ValueOf(s).Elem().FieldByName("Type").SetString(s.StageType())
+}
+
+// Validate checks the whole program — version, name, fleet bounds, stage
+// family consistency, and every stage's own constraints — and normalizes
+// it (fills each stage's "type" field). Load calls it; programs
+// constructed in Go should call it (or Canonical, which does) before Run.
+func (p *Program) Validate() error {
+	if p.Version != Version {
+		return fmt.Errorf("testprog: unsupported program version %d (this build supports %d)",
+			p.Version, Version)
+	}
+	if len(p.Name) > maxNameLen {
+		return fmt.Errorf("testprog: name longer than %d bytes", maxNameLen)
+	}
+	for _, r := range p.Name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("testprog: name contains control character %q", r)
+		}
+	}
+	if err := p.Fleet.validate(); err != nil {
+		return err
+	}
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("testprog: program has no stages")
+	}
+	campaigns := 0
+	for _, s := range p.Stages {
+		if campaignStage(s.StageType()) {
+			campaigns++
+		}
+	}
+	if campaigns != 0 && campaigns != len(p.Stages) {
+		return fmt.Errorf("testprog: device stages and campaign stages cannot mix in one program")
+	}
+	for i, s := range p.Stages {
+		if s == nil {
+			return fmt.Errorf("testprog: stage %d is nil", i)
+		}
+		declared := reflect.ValueOf(s).Elem().FieldByName("Type").String()
+		if declared != "" && declared != s.StageType() {
+			return fmt.Errorf("testprog: stage %d: type field %q does not match stage type %q",
+				i, declared, s.StageType())
+		}
+		if err := s.validate(p, i); err != nil {
+			return fmt.Errorf("testprog: %w", err)
+		}
+		fillType(s)
+	}
+	if p.Output.FailingBits < 0 {
+		return fmt.Errorf("testprog: output.failing_bits must be non-negative")
+	}
+	if p.Output.IncludeTrace && p.Kind() == KindCampaign {
+		return fmt.Errorf("testprog: output.include_trace is only supported for device programs")
+	}
+	return nil
+}
+
+func (f Fleet) validate() error {
+	if f.Chips < 0 || f.Chips > maxFleetChips {
+		return fmt.Errorf("testprog: fleet.chips %d out of [0, %d]", f.Chips, maxFleetChips)
+	}
+	if f.Bits != 0 && (f.Bits < minChipBits || f.Bits > maxChipBits) {
+		return fmt.Errorf("testprog: fleet.bits %d out of [%d, %d] (or 0 for the default)",
+			f.Bits, int64(minChipBits), int64(maxChipBits))
+	}
+	if f.WeakScale < 0 || f.WeakScale > maxWeakScale {
+		return fmt.Errorf("testprog: fleet.weak_scale %v out of [0, %d]", f.WeakScale, maxWeakScale)
+	}
+	if _, err := f.vendor(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Canonical validates and normalizes the program, then encodes it in the
+// canonical deterministic form: two-space-indented JSON with struct fields
+// in schema order and a trailing newline. Load(Canonical(p)) returns a
+// program deeply equal to the validated p, and two programs are
+// semantically identical iff their canonical bytes are equal.
+func (p *Program) Canonical() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	enc, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("testprog: %w", err)
+	}
+	return append(enc, '\n'), nil
+}

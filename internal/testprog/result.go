@@ -1,0 +1,142 @@
+package testprog
+
+import (
+	"reaper/internal/core"
+	"reaper/internal/experiments"
+	"reaper/internal/telemetry"
+)
+
+// Result is the outcome of running a program. It serializes with the
+// repository-wide lower_snake_case convention and is deterministic: for a
+// given program (and thus seed), the JSON encoding is byte-identical at
+// any worker count.
+type Result struct {
+	// Name, Seed, and Version echo the program.
+	Name    string `json:"name,omitempty"`
+	Seed    uint64 `json:"seed"`
+	Version int    `json:"version"`
+	// Kind is the program's stage family: "device" or "campaign".
+	Kind Kind `json:"kind"`
+	// Chips holds per-chip pipelines for device programs, in chip order.
+	Chips []ChipRun `json:"chips,omitempty"`
+	// Stages holds campaign stage results for campaign programs, in
+	// stage order.
+	Stages []StageResult `json:"stages,omitempty"`
+	// Metrics is the telemetry registry snapshot, present when the
+	// program's output.include_metrics is set.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+	// Trace is the merged per-chip trace timeline in (clock, source,
+	// seq) order, present when output.include_trace is set.
+	Trace []telemetry.Event `json:"trace,omitempty"`
+}
+
+// ChipRun is one chip's pass through a device program's stages.
+type ChipRun struct {
+	// Chip is the fleet index; Seed is the chip's derived device seed
+	// (program seed + chip index — see API.md "Determinism contract").
+	Chip int    `json:"chip"`
+	Seed uint64 `json:"seed"`
+	// Stages holds one result per program stage, in order.
+	Stages []StageResult `json:"stages"`
+	// ClockS is the chip's final simulated clock, in seconds.
+	ClockS float64 `json:"clock_s"`
+	// UniqueFailures is the size of the chip's cumulative failure set
+	// after the last stage.
+	UniqueFailures int `json:"unique_failures"`
+}
+
+// StageResult is the outcome of one stage. Stage carries the stage-type
+// token and exactly one of the optional payloads is populated, matching
+// the stage family (stages with no measurement — write_pattern, wait,
+// refresh control, set_temp — carry only the token and the clock).
+type StageResult struct {
+	// Stage is the stage-type token; Index its position in the program.
+	Stage string `json:"stage"`
+	Index int    `json:"index"`
+	// ClockS is the chip's simulated clock after the stage, in seconds.
+	// Device stages only.
+	ClockS float64 `json:"clock_s,omitempty"`
+	// ReadCompare is set for read_compare stages.
+	ReadCompare *ReadCompareResult `json:"read_compare,omitempty"`
+	// Classify is set for classify stages.
+	Classify *ClassifyResult `json:"classify,omitempty"`
+	// Profile is set for profile stages.
+	Profile *ProfileResult `json:"profile,omitempty"`
+	// Inject is set for inject_fault stages.
+	Inject *InjectResult `json:"inject,omitempty"`
+	// Tradeoff is set for tradeoff_grid stages: the Figure 9/10 grid in
+	// row-major order, byte-identical to the Go API path
+	// (experiments.Fig9Fig10Tradeoff) for the same configuration.
+	Tradeoff []core.TradeoffPoint `json:"tradeoff,omitempty"`
+	// Soak is set for soak stages.
+	Soak *experiments.SoakReport `json:"soak,omitempty"`
+	// Population is set for population_sweep stages, one entry per
+	// vendor.
+	Population []experiments.PopulationResult `json:"population,omitempty"`
+}
+
+// ReadCompareResult reports one read-back.
+type ReadCompareResult struct {
+	// Label echoes the stage's label.
+	Label string `json:"label,omitempty"`
+	// Failures is how many cells failed this read; NewFailures how many
+	// of them were not already in the chip's cumulative set.
+	Failures    int `json:"failures"`
+	NewFailures int `json:"new_failures"`
+	// FailingBits lists up to output.failing_bits failing cell addresses
+	// (sorted global bit indices) from this read.
+	FailingBits []uint64 `json:"failing_bits,omitempty"`
+}
+
+// ClassifyResult scores the cumulative failure set against ground truth.
+type ClassifyResult struct {
+	// TruthSize is the oracle failing-cell count at the target
+	// conditions; Found the cumulative set size being scored.
+	TruthSize int `json:"truth_size"`
+	Found     int `json:"found"`
+	// Coverage and FalsePositiveRate are the Figure 9 quantities.
+	Coverage          float64 `json:"coverage"`
+	FalsePositiveRate float64 `json:"false_positive_rate"`
+}
+
+// ProfileResult reports one profile stage (a full Algorithm-1 round at
+// reach conditions).
+type ProfileResult struct {
+	// IntervalS and TempC are the conditions profiling actually ran at
+	// (target + reach deltas).
+	IntervalS float64 `json:"interval_s"`
+	TempC     float64 `json:"temp_c"`
+	// Iterations actually executed.
+	Iterations int `json:"iterations"`
+	// Failures is the run's own failing-cell count; NewFailures how many
+	// were new to the chip's cumulative set.
+	Failures    int `json:"failures"`
+	NewFailures int `json:"new_failures"`
+	// RuntimeS is the simulated profiling time consumed.
+	RuntimeS float64 `json:"runtime_s"`
+	// Records holds the per-(iteration, pattern) passes when
+	// output.include_records is set.
+	Records []PassRecord `json:"records,omitempty"`
+}
+
+// PassRecord is one (iteration, pattern) pass of a profile stage.
+type PassRecord struct {
+	// Iteration is 1-based; Pattern the data-pattern name.
+	Iteration int    `json:"iteration"`
+	Pattern   string `json:"pattern"`
+	// Failures and NewFailures count this pass's failing cells and how
+	// many were first seen here; ClockS is the simulated clock after the
+	// pass.
+	Failures    int     `json:"failures"`
+	NewFailures int     `json:"new_failures"`
+	ClockS      float64 `json:"clock_s"`
+}
+
+// InjectResult reports one fault injection.
+type InjectResult struct {
+	// Kind echoes the stage's fault kind; Cells is how many cells were
+	// actually perturbed (injection can touch fewer than requested when
+	// the random stream collides with existing weak cells).
+	Kind  string `json:"kind"`
+	Cells int    `json:"cells"`
+}

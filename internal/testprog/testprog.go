@@ -1,0 +1,154 @@
+// Package testprog defines the versioned JSON test-program representation:
+// DRAM characterization campaigns expressed as data instead of Go code, in
+// the SoftMC tradition of declarative stage pipelines (write pattern →
+// disable refresh → wait → read back → classify).
+//
+// A Program is a seed, a fleet specification, an ordered list of stages,
+// and an output selection. Two stage families exist:
+//
+//   - Device stages (write_pattern, set_temp, disable_refresh,
+//     enable_refresh, wait, read_compare, classify, inject_fault, profile)
+//     lower onto internal/memctrl station primitives and run once per chip
+//     in the fleet, fanned out on the deterministic worker pool.
+//   - Campaign stages (tradeoff_grid, soak, population_sweep) lower onto
+//     the internal/experiments harnesses and run once per program.
+//
+// The two families cannot be mixed in one program.
+//
+// Loading is strict: unknown top-level fields, unknown stage types, and
+// unknown fields inside any stage are all rejected (Load). Canonical
+// re-encodes a program deterministically so that Load∘Canonical is the
+// identity and byte comparison of canonical forms is semantic comparison.
+//
+// Execution (Run) is deterministic: given the same program bytes, the
+// result is byte-identical at any worker count. All randomness derives
+// from the program seed via internal/rng streams — chip c uses seed
+// program.seed + c, and fault-injection streams are derived per chip via
+// rng.Derive. API.md documents the JSON schema, the seed-derivation
+// contract, and the shared lower_snake_case field-naming convention.
+package testprog
+
+import (
+	"fmt"
+
+	"reaper/internal/dram"
+	"reaper/internal/experiments"
+)
+
+// Version is the current (and only) test-program schema version; programs
+// must declare it in their "version" field.
+const Version = 1
+
+// Program is one declarative test program. See the package comment and
+// API.md for the schema; construct programs in Go or load them from JSON
+// with Load.
+type Program struct {
+	// Version is the schema version; must equal Version.
+	Version int `json:"version"`
+	// Name labels the program in results and server listings. Optional.
+	Name string `json:"name,omitempty"`
+	// Seed drives every random stream in the program. Two runs of the
+	// same program bytes produce byte-identical results (see API.md
+	// "Determinism contract").
+	Seed uint64 `json:"seed"`
+	// Fleet describes the simulated chips the stages run against.
+	Fleet Fleet `json:"fleet"`
+	// Stages execute in order. All stages must belong to one family
+	// (device or campaign).
+	Stages []Stage `json:"stages"`
+	// Output selects what the result includes beyond the per-stage
+	// summaries.
+	Output Output `json:"output"`
+}
+
+// Fleet describes the simulated chip population a program runs against.
+// The zero value means one default chip (64 Mbit, 20x weak-cell
+// amplification, vendor B) — the same defaults as
+// experiments.DefaultChipSpec.
+type Fleet struct {
+	// Chips is the fleet size for device programs and the soak stage;
+	// 0 means 1. The tradeoff_grid stage profiles a single chip and the
+	// population_sweep stage sizes its fleet with chips_per_vendor, so
+	// both ignore this field.
+	Chips int `json:"chips,omitempty"`
+	// Bits is the per-chip capacity; 0 means 64 Mbit. Small programs
+	// should set this (e.g. 8388608 = 8 Mbit) — simulated profiling time
+	// scales with it.
+	Bits int64 `json:"bits,omitempty"`
+	// WeakScale amplifies weak-cell density (scale-model chips, see
+	// EXPERIMENTS.md); 0 means 20.
+	WeakScale float64 `json:"weak_scale,omitempty"`
+	// Vendor selects the retention model: "A", "B", or "C". Empty means
+	// "B" (the paper's representative vendor).
+	Vendor string `json:"vendor,omitempty"`
+	// Chamber couples each station to a simulated thermal chamber.
+	Chamber bool `json:"chamber,omitempty"`
+	// DisableVRT and DisableDPD build ablated chips without the
+	// variable-retention-time / data-pattern-dependence mechanisms.
+	DisableVRT bool `json:"disable_vrt,omitempty"`
+	DisableDPD bool `json:"disable_dpd,omitempty"`
+}
+
+// Units returns the number of progress units Run reports for the
+// program: chips × stages for device programs (each stage runs once per
+// chip), stage count for campaigns. Callers that display progress before
+// a run starts — e.g. the reaperd scheduler — use this as the fixed
+// Total of the run's ProgressEvents.
+func (p *Program) Units() int64 {
+	if p.Kind() == KindCampaign {
+		return int64(len(p.Stages))
+	}
+	return int64(p.Fleet.chips()) * int64(len(p.Stages))
+}
+
+// chips returns the effective device-program fleet size.
+func (f Fleet) chips() int {
+	if f.Chips <= 0 {
+		return 1
+	}
+	return f.Chips
+}
+
+// vendor resolves the vendor name; empty selects vendor B.
+func (f Fleet) vendor() (dram.VendorParams, error) {
+	if f.Vendor == "" {
+		return dram.VendorB(), nil
+	}
+	for _, v := range dram.Vendors() {
+		if v.Name == f.Vendor {
+			return v, nil
+		}
+	}
+	return dram.VendorParams{}, fmt.Errorf("testprog: unknown vendor %q (valid: A, B, C)", f.Vendor)
+}
+
+// chipSpec builds the experiments.ChipSpec for one chip of the fleet.
+// Validation has already established the vendor name resolves.
+func (f Fleet) chipSpec(seed uint64) experiments.ChipSpec {
+	v, _ := f.vendor()
+	return experiments.ChipSpec{
+		Bits:       f.Bits,
+		WeakScale:  f.WeakScale,
+		Vendor:     v,
+		Seed:       seed,
+		Chamber:    f.Chamber,
+		DisableVRT: f.DisableVRT,
+		DisableDPD: f.DisableDPD,
+	}
+}
+
+// Output selects optional result payload beyond the per-stage summaries.
+type Output struct {
+	// IncludeRecords embeds the per-(iteration, pattern) pass records in
+	// profile stage results.
+	IncludeRecords bool `json:"include_records,omitempty"`
+	// FailingBits caps how many failing cell addresses (sorted global bit
+	// indices) read_compare results embed; 0 embeds none.
+	FailingBits int `json:"failing_bits,omitempty"`
+	// IncludeMetrics embeds the deterministic telemetry snapshot
+	// (internal/telemetry registry, sorted) in the result.
+	IncludeMetrics bool `json:"include_metrics,omitempty"`
+	// IncludeTrace embeds the merged per-chip trace timeline in the
+	// result. Device programs only.
+	IncludeTrace bool `json:"include_trace,omitempty"`
+}
