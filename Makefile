@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-go bench-parallel benchdiff soak-quick soak-resume-quick serve-quick lint lint-json lint-fixtures
+.PHONY: all build vet test race check bench bench-go bench-parallel bench-fleet benchdiff fleet-quick soak-quick soak-resume-quick serve-quick lint lint-json lint-fixtures
 
 all: check
 
@@ -45,6 +45,13 @@ soak-resume-quick:
 	cmp $(RESUME_DIR)/ref.json $(RESUME_DIR)/resumed.json
 	@echo "soak-resume-quick: resumed report byte-identical to uninterrupted run"
 
+# fleet-quick is the lazy-execution byte-identity gate: sweep one small
+# population through the legacy, sharded, and dense executors at 1 and
+# default workers and require every JSON report byte-identical
+# (DESIGN.md section 10). Exits non-zero on any divergence.
+fleet-quick:
+	$(GO) run ./cmd/benchfleet -parity
+
 # serve-quick is the profiling-service smoke test: cmd/reaperd -selftest
 # starts the daemon on a loopback port, submits a small test program twice
 # through the Go client, and requires both result documents byte-identical
@@ -71,7 +78,7 @@ lint-json:
 lint-fixtures:
 	$(GO) test -race -short ./internal/lint
 
-check: build vet lint race soak-quick soak-resume-quick serve-quick
+check: build vet lint race fleet-quick soak-quick soak-resume-quick serve-quick
 
 # bench regenerates BENCH_device.json: the device read-path microbenchmarks
 # (ReadCompareAll / RestoreAll) at three weak-cell densities, with the
@@ -90,9 +97,19 @@ bench-go:
 bench-parallel:
 	$(GO) run ./cmd/benchparallel -out BENCH_parallel.json
 
-# benchdiff measures a fresh device baseline and compares it against the
-# committed BENCH_device.json, failing on >25% ns/op regressions in named
-# micros. Timing-sensitive: advisory on shared/loaded machines.
+# bench-fleet regenerates BENCH_fleet.json: dense bytes-per-chip resident
+# plus lazy shard-sweep peak heap and chips/sec at 1k/100k/1M chips. The 1M
+# row takes minutes; CI smokes the same path with -quick instead.
+bench-fleet:
+	$(GO) run ./cmd/benchfleet -out BENCH_fleet.json
+
+# benchdiff measures fresh device and fleet baselines and compares them
+# against the committed BENCH_device.json / BENCH_fleet.json, failing on
+# >25% ns/op regressions in named micros — and, for the fleet rows, >25%
+# bytes/op growth (peak heap or resident bytes per chip: the lazy-execution
+# budget). Timing-sensitive: advisory on shared/loaded machines.
 benchdiff:
 	$(GO) run ./cmd/benchdevice -out /tmp/reaper-bench-fresh.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_device.json -fresh /tmp/reaper-bench-fresh.json -max-regress 0.25
+	$(GO) run ./cmd/benchfleet -quick -out /tmp/reaper-bench-fleet-fresh.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_fleet.json -fresh /tmp/reaper-bench-fleet-fresh.json -max-regress 0.25 -max-bytes-regress 0.25

@@ -28,6 +28,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_device.json", "committed baseline JSON")
 	fresh := flag.String("fresh", "", "freshly measured baseline JSON (required)")
 	maxRegress := flag.Float64("max-regress", 0.25, "max allowed ns/op regression as a fraction of the committed value")
+	maxBytesRegress := flag.Float64("max-bytes-regress", 0.25, "max allowed bytes/op regression as a fraction of the committed value; compared only when both rows record bytes (memory rows like BENCH_fleet.json's bytes-per-chip)")
 	flag.Parse()
 	if *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -fresh is required")
@@ -75,6 +76,18 @@ func main() {
 		}
 		fmt.Printf("  %-7s%-36s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
 			status, m.Name, want.NsPerOp, m.NsPerOp, 100*ratio)
+		// Memory rows: fleet-scale baselines record bytes/op (bytes resident
+		// per chip); a growth there means lazy execution stopped paying off.
+		if want.BytesPerOp > 0 && m.BytesPerOp > 0 {
+			bratio := float64(m.BytesPerOp)/float64(want.BytesPerOp) - 1
+			bstatus := "ok"
+			if bratio > *maxBytesRegress {
+				bstatus = "REGRESS"
+				regressions++
+			}
+			fmt.Printf("  %-7s%-36s %12d -> %12d B/op   %+6.1f%%\n",
+				bstatus, m.Name, want.BytesPerOp, m.BytesPerOp, 100*bratio)
+		}
 	}
 	for _, m := range base.Micro {
 		if !seen[m.Name] {

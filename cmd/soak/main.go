@@ -15,7 +15,7 @@
 // Usage:
 //
 //	soak [-chips N] [-hours H] [-window H] [-seed S] [-workers N]
-//	     [-target ms] [-max-uber F] [-baseline] [-quick]
+//	     [-shard-size N] [-target ms] [-max-uber F] [-baseline] [-quick]
 //	     [-scenario default|quiet|harsh] [-out file.json]
 //	     [-checkpoint-dir dir] [-resume] [-checkpoint-every N]
 //	     [-stop-after-checkpoints N] [-shard-attempts N]
@@ -76,6 +76,8 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "campaign seed (report is bit-identical per seed)")
 	workers := flag.Int("workers", parallel.DefaultWorkers(),
 		"fleet worker pool size (results are identical at any count)")
+	shardSize := flag.Int("shard-size", 0,
+		"max chips holding dense simulator state at once (0 = no bound); results are identical at any value")
 	targetMs := flag.Float64("target", 1024, "extended refresh interval, ms")
 	maxUBER := flag.Float64("max-uber", 1e-4, "survival criterion: max cumulative UBER")
 	baseline := flag.Bool("baseline", false, "disable the resilience controller (open-loop baseline)")
@@ -102,6 +104,14 @@ func run() int {
 
 	if *workers < 1 {
 		log.Printf("soak: -workers must be >= 1 (got %d)", *workers)
+		return exitcode.ConfigError
+	}
+	if *chips < 1 {
+		log.Printf("soak: -chips must be >= 1 (got %d)", *chips)
+		return exitcode.ConfigError
+	}
+	if *shardSize < 0 {
+		log.Printf("soak: -shard-size must be >= 0 (got %d)", *shardSize)
 		return exitcode.ConfigError
 	}
 	// The seed split matches the harness's own default-scenario derivation,
@@ -151,6 +161,7 @@ func run() int {
 	cfg.Hours = *hours
 	cfg.WindowHours = *window
 	cfg.Workers = *workers
+	cfg.ShardSize = *shardSize
 	cfg.TargetInterval = *targetMs / 1000
 	cfg.MaxUBER = *maxUBER
 	cfg.Controller = !*baseline

@@ -71,6 +71,22 @@ func (e *Encoder) Str(s string) { e.Bytes([]byte(s)) }
 // Len appends a collection length.
 func (e *Encoder) Len(n int) { e.U64(uint64(n)) }
 
+// UVar appends an unsigned base-128 varint. Delta-style codecs use it for
+// cell indices and small counters, where fixed-width words would multiply
+// the blob size by ~8 for values that are almost always tiny.
+func (e *Encoder) UVar(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// SVar appends a signed zigzag varint (small magnitudes of either sign stay
+// one byte; -1 sentinels cost one byte instead of eight).
+func (e *Encoder) SVar(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// VarLen appends a collection length as a varint.
+func (e *Encoder) VarLen(n int) { e.UVar(uint64(n)) }
+
 // Section appends a tag marking the start of a named sub-structure. The
 // matching Decoder.Section verifies the tag, turning most misalignment bugs
 // and silent corruption into immediate, located decode errors.
@@ -163,6 +179,47 @@ func (d *Decoder) Str() string { return string(d.Bytes()) }
 // ceiling chosen by the caller; lengths beyond it indicate corruption).
 func (d *Decoder) Len(max int) int {
 	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(max) {
+		d.fail("length %d exceeds sanity bound %d", n, max)
+		return 0
+	}
+	return int(n)
+}
+
+// UVar reads an unsigned base-128 varint.
+func (d *Decoder) UVar() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// SVar reads a signed zigzag varint.
+func (d *Decoder) SVar() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("truncated or overlong varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// VarLen reads a varint collection length and validates it against max.
+func (d *Decoder) VarLen(max int) int {
+	n := d.UVar()
 	if d.err != nil {
 		return 0
 	}

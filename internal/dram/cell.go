@@ -49,6 +49,14 @@ type weakCell struct {
 	// the list.
 	inStuckList bool
 
+	// dpdTracked / vrtTracked record membership in the device's delta-codec
+	// divergence journals (Device.dpdReseeded / Device.vrtForced), so a cell
+	// hit by repeated injection events is journaled exactly once. A forced
+	// VRT cell stays journaled forever: its whole future switch schedule
+	// descends from the forced baseline, not the construction draw.
+	dpdTracked bool
+	vrtTracked bool
+
 	// nbrCode caches the cell's neighbourhood code for the write epoch
 	// nbrEpoch; valid only while nbrEpoch == Device.contentEpoch.
 	nbrCode  uint64 //lint:serialized-elsewhere per-epoch memo; recomputed on the first sample after restore

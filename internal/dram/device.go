@@ -167,6 +167,19 @@ type Device struct {
 	// failScratch is the reusable failing-bit accumulator of full-device
 	// sweeps; collecting sweeps copy it into an exact-size result.
 	failScratch []uint64
+
+	// Delta-codec divergence journals (delta.go): the cells injected since
+	// construction (in insertion order), and the cells whose dpdSeed or VRT
+	// state an injection hook overwrote. Together with the stuck overlay,
+	// row deviations, and stream positions, these are the only ways a live
+	// device diverges from its seed-derived construction — naturally drifted
+	// VRT cells need no journal entry because vrtState.advance is a pure
+	// catch-up function of (construction state, max time seen). This is what
+	// lets EncodeDelta checkpoint a chip as O(deviations) bytes instead of
+	// O(weak cells).
+	injected    []*weakCell
+	dpdReseeded []*weakCell
+	vrtForced   []*weakCell
 }
 
 // validate fills defaults and checks the config is usable; it is the shared

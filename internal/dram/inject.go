@@ -96,7 +96,8 @@ func (d *Device) newInjectedCell(src *rng.Source, bit uint64, maxMuSeconds float
 // insertWeakCell places c into the sorted weak slice at index i, into its
 // row's cell list (preserving bit order in both), and into the activation
 // index (preserving key order). The cell also joins the round-cache dirty
-// list so live cached classifications fold it in on their next hit.
+// list so live cached classifications fold it in on their next hit, and the
+// injection journal so the delta codec can replay the arrival.
 func (d *Device) insertWeakCell(c *weakCell, i int) {
 	d.weak = slices.Insert(d.weak, i, c)
 	row := d.geom.rowOfBit(c.bit)
@@ -105,6 +106,7 @@ func (d *Device) insertWeakCell(c *weakCell, i int) {
 	d.byRow[row] = slices.Insert(cells, j, c)
 	d.indexInsert(c)
 	d.noteDirtyCell(c)
+	d.injected = append(d.injected, c)
 }
 
 // ForceVRTLowBurst forces up to n VRT cells that are currently in their
@@ -142,6 +144,13 @@ func (d *Device) ForceVRTLowBurst(src *rng.Source, n int, maxMuLowSeconds, now f
 			dwell = 600
 		}
 		c.vrt.nextSwitch = now + dwell
+		// The forced baseline replaces the construction draw, so natural
+		// catch-up can no longer reproduce this cell: journal it for the
+		// delta codec.
+		if !c.vrtTracked {
+			c.vrtTracked = true
+			d.vrtForced = append(d.vrtForced, c)
+		}
 		bits = append(bits, c.bit)
 	}
 	slices.Sort(bits)
@@ -169,6 +178,10 @@ func (d *Device) RescrambleDPD(src *rng.Source, n int) []uint64 {
 		candidates[i] = candidates[len(candidates)-1]
 		candidates = candidates[:len(candidates)-1]
 		c.dpdSeed = src.Uint64()
+		if !c.dpdTracked {
+			c.dpdTracked = true
+			d.dpdReseeded = append(d.dpdReseeded, c)
+		}
 		bits = append(bits, c.bit)
 	}
 	slices.Sort(bits)

@@ -171,6 +171,33 @@ func (d *Device) EncodeState(e *checkpoint.Encoder) error {
 		e.Int(d.cellIndexOf(c))
 	}
 
+	// Divergence journals (delta.go), as indices into the bit-sorted weak
+	// slice. The per-cell values already travel in the population records
+	// above; the journals carry membership and order, so a dense-restored
+	// device can still emit a faithful EncodeDelta later.
+	e.Len(len(d.injected))
+	for _, c := range d.injected {
+		e.Int(d.cellIndexOf(c))
+	}
+	e.Len(len(d.dpdReseeded))
+	for _, c := range d.dpdReseeded {
+		e.Int(d.cellIndexOf(c))
+	}
+	e.Len(len(d.vrtForced))
+	for _, c := range d.vrtForced {
+		e.Int(d.cellIndexOf(c))
+	}
+
+	return d.encodeDeviceTail(e)
+}
+
+// encodeDeviceTail serializes the population-independent remainder of the
+// device state — content and clocks, row deviations, stream positions,
+// counters, and the incremental round cache. It is shared verbatim between
+// the dense codec (EncodeState) and the delta codec (EncodeDelta): both
+// reference cells by index into the bit-sorted weak slice, which the two
+// codecs' restore paths reconstruct identically.
+func (d *Device) encodeDeviceTail(e *checkpoint.Encoder) error {
 	// Content and clocks.
 	if err := encodeRowData(e, d.bulkData); err != nil {
 		return err
@@ -347,21 +374,10 @@ func (d *Device) RestoreState(dec *checkpoint.Decoder, resolve func(string) (Row
 		d.byRow[row] = append(d.byRow[row], c)
 	}
 
-	cellAt := func(label string) (*weakCell, error) {
-		i := dec.Int()
-		if dec.Err() != nil {
-			return nil, dec.Err()
-		}
-		if i < 0 || i >= len(d.weak) {
-			return nil, fmt.Errorf("dram: restore: %s cell index %d out of range", label, i)
-		}
-		return d.weak[i], nil
-	}
-
 	ns := dec.Len(maxRestoreCells)
 	d.stuckList = make([]*weakCell, 0, ns)
 	for i := 0; i < ns; i++ {
-		c, err := cellAt("stuck-list")
+		c, err := d.decodeCellAt(dec, "stuck-list")
 		if err != nil {
 			return err
 		}
@@ -369,6 +385,59 @@ func (d *Device) RestoreState(dec *checkpoint.Decoder, resolve func(string) (Row
 		d.stuckList = append(d.stuckList, c)
 	}
 
+	// Divergence journals: membership lists over the rebuilt population.
+	// The tracked flags are derived from membership, so they reset here
+	// rather than traveling on the wire.
+	nj := dec.Len(maxRestoreCells)
+	d.injected = nil
+	for i := 0; i < nj; i++ {
+		c, err := d.decodeCellAt(dec, "injected")
+		if err != nil {
+			return err
+		}
+		d.injected = append(d.injected, c)
+	}
+	nj = dec.Len(maxRestoreCells)
+	d.dpdReseeded = nil
+	for i := 0; i < nj; i++ {
+		c, err := d.decodeCellAt(dec, "dpd-reseeded")
+		if err != nil {
+			return err
+		}
+		c.dpdTracked = true
+		d.dpdReseeded = append(d.dpdReseeded, c)
+	}
+	nj = dec.Len(maxRestoreCells)
+	d.vrtForced = nil
+	for i := 0; i < nj; i++ {
+		c, err := d.decodeCellAt(dec, "vrt-forced")
+		if err != nil {
+			return err
+		}
+		c.vrtTracked = true
+		d.vrtForced = append(d.vrtForced, c)
+	}
+
+	return d.restoreDeviceTail(dec, resolve)
+}
+
+// decodeCellAt reads a weak-slice index and resolves it to the cell.
+func (d *Device) decodeCellAt(dec *checkpoint.Decoder, label string) (*weakCell, error) {
+	i := dec.Int()
+	if dec.Err() != nil {
+		return nil, dec.Err()
+	}
+	if i < 0 || i >= len(d.weak) {
+		return nil, fmt.Errorf("dram: restore: %s cell index %d out of range", label, i)
+	}
+	return d.weak[i], nil
+}
+
+// restoreDeviceTail decodes the encodeDeviceTail region into d, whose weak
+// population must already be final (dense rebuild or fresh construction plus
+// delta replay), then rebuilds the activation index and resets the run-time
+// scratch. Shared by RestoreState and RestoreDelta.
+func (d *Device) restoreDeviceTail(dec *checkpoint.Decoder, resolve func(string) (RowData, error)) error {
 	bulk, err := decodeRowData(dec, resolve)
 	if err != nil {
 		return err
@@ -447,7 +516,7 @@ func (d *Device) RestoreState(dec *checkpoint.Decoder, resolve func(string) (Row
 		nf := dec.Len(maxRestoreCells)
 		ent.flips = make([]flipRec, 0, nf)
 		for j := 0; j < nf; j++ {
-			c, err := cellAt("flip")
+			c, err := d.decodeCellAt(dec, "flip")
 			if err != nil {
 				return err
 			}
@@ -456,7 +525,7 @@ func (d *Device) RestoreState(dec *checkpoint.Decoder, resolve func(string) (Row
 		nbd := dec.Len(maxRestoreCells)
 		ent.band = make([]*weakCell, 0, nbd)
 		for j := 0; j < nbd; j++ {
-			c, err := cellAt("band")
+			c, err := d.decodeCellAt(dec, "band")
 			if err != nil {
 				return err
 			}
@@ -468,7 +537,7 @@ func (d *Device) RestoreState(dec *checkpoint.Decoder, resolve func(string) (Row
 	nd := dec.Len(maxDirtyCells)
 	d.dirtyCells = nil
 	for i := 0; i < nd; i++ {
-		c, err := cellAt("dirty")
+		c, err := d.decodeCellAt(dec, "dirty")
 		if err != nil {
 			return err
 		}

@@ -47,8 +47,9 @@ func DefaultChipSpec(seed uint64) ChipSpec {
 	}
 }
 
-// NewStation builds the station for a spec.
-func (c ChipSpec) NewStation() (*memctrl.Station, error) {
+// withDefaults resolves the zero-value conveniences to the standard
+// scale-model chip parameters.
+func (c ChipSpec) withDefaults() ChipSpec {
 	if c.Bits == 0 {
 		c.Bits = 64 << 20
 	}
@@ -58,7 +59,16 @@ func (c ChipSpec) NewStation() (*memctrl.Station, error) {
 	if c.Vendor.Name == "" {
 		c.Vendor = dram.VendorB()
 	}
-	dev, err := dram.NewDevice(dram.Config{
+	return c
+}
+
+// Ref returns the compact seed-derived handle for this spec's device. The
+// ref — not a live *dram.Device — is the unit of fleet state: a sweep over
+// a million chips holds a million refs (a few words each) and materializes
+// only the shard currently being swept.
+func (c ChipSpec) Ref() (dram.ChipRef, error) {
+	c = c.withDefaults()
+	return dram.NewChipRef(dram.Config{
 		Geometry:   dram.GeometryForBits(c.Bits),
 		Vendor:     c.Vendor,
 		Seed:       c.Seed,
@@ -66,6 +76,16 @@ func (c ChipSpec) NewStation() (*memctrl.Station, error) {
 		DisableVRT: c.DisableVRT,
 		DisableDPD: c.DisableDPD,
 	})
+}
+
+// NewStation builds the station for a spec by materializing its ref.
+func (c ChipSpec) NewStation() (*memctrl.Station, error) {
+	c = c.withDefaults()
+	ref, err := c.Ref()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := ref.Materialize()
 	if err != nil {
 		return nil, err
 	}

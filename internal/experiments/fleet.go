@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"context"
+
+	"reaper/internal/parallel"
+	"reaper/internal/telemetry"
+)
+
+// Fleet-scale execution: the shard executor that lets population sweeps run
+// over arbitrarily large fleets in O(active shard + summaries) memory.
+//
+// The unit of fleet state is a compact, seed-derived description of a chip
+// (a ChipSpec / dram.ChipRef — a few words), not a live *dram.Device (tens
+// of megabytes of sampled weak cells and content bits). The executor walks
+// the flattened job list in consecutive shards: each shard materializes at
+// most shardSize devices (the worker pool is clamped to the shard size, so
+// at most min(workers, shardSize) are ever live at once), folds each chip
+// into its compact per-chip summary, and drops every dense structure before
+// the next shard begins. Nothing about a chip's evaluation depends on any
+// other chip — every job is independently seeded — so sharded execution is
+// byte-identical to a single flat map at any worker count and shard size;
+// only the parallel_* batch telemetry reflects the shard structure.
+
+// fleetShardSize normalizes a shard-size knob against a fleet of n jobs:
+// values <= 0 or >= n collapse to one shard spanning the whole fleet.
+func fleetShardSize(shardSize, n int) int {
+	if shardSize <= 0 || shardSize > n {
+		return n
+	}
+	return shardSize
+}
+
+// fleetWorkers bounds a worker pool by the shard size so the number of
+// concurrently materialized devices never exceeds the shard window. A
+// shardSize <= 0 (keep-alive mode) leaves workers untouched; workers <= 0
+// resolves to the parallel package's default first so the clamp applies to
+// the real pool size.
+func fleetWorkers(workers, shardSize int) int {
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if shardSize > 0 && workers > shardSize {
+		workers = shardSize
+	}
+	return workers
+}
+
+// runFleetShards drives fn over n jobs in consecutive shards of shardSize
+// jobs each, recording the fleet lifecycle metrics on the context registry:
+// fleet_shards_active flips to 1 while a shard's devices are live,
+// fleet_chips_materialized counts spin-ups, and fleet_evictions counts
+// devices whose dense state was dropped at a shard boundary. Failures are
+// reindexed to fleet-global job numbers. The counters are driven by the
+// shard walk, not the scheduler, so their final values are identical at any
+// worker count.
+func runFleetShards[T any](ctx context.Context, n, shardSize, workers int, policy parallel.RetryPolicy,
+	fn func(ctx context.Context, job int) (T, error)) ([]T, []parallel.JobFailure, error) {
+	shard := fleetShardSize(shardSize, n)
+	reg := telemetry.FromContext(ctx)
+	out := make([]T, 0, n)
+	var failures []parallel.JobFailure
+	for lo := 0; lo < n; lo += shard {
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		reg.Gauge("fleet_shards_active").Set(1)
+		reg.Counter("fleet_chips_materialized").Add(int64(hi - lo))
+		res, fails, err := parallel.MapPartial(ctx, hi-lo, fleetWorkers(workers, shard), policy,
+			func(ctx context.Context, k int) (T, error) { return fn(ctx, lo+k) })
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, res...)
+		for _, f := range fails {
+			f.Job += lo
+			failures = append(failures, f)
+		}
+		// The shard's results are folded; its dense devices are garbage from
+		// here on. Evictions are counted per chip so operators can cross-check
+		// materializations against evictions (equal when a sweep completes).
+		reg.Counter("fleet_evictions").Add(int64(hi - lo))
+		reg.Gauge("fleet_shards_active").Set(0)
+	}
+	return out, failures, nil
+}

@@ -55,6 +55,20 @@ type SoakConfig struct {
 	// Workers sizes the fleet worker pool (0 = NumCPU). Results are
 	// identical at any worker count.
 	Workers int `json:"workers"`
+	// ShardSize, when positive, bounds how many chips may hold dense
+	// simulator state at once. The worker pool is clamped to it in every
+	// execution path (a non-checkpointed chip's dense state lives exactly
+	// as long as its job runs, so the clamp alone bounds residency); the
+	// checkpointed path additionally evicts every live runner at each
+	// segment barrier, so between segments the campaign holds only the
+	// compact per-chip state blobs and the next segment re-materializes
+	// each chip from its seed plus blob — the same restore path a
+	// cross-process resume takes. Reports are byte-identical at every
+	// shard size, and a checkpoint directory written at one shard size
+	// resumes cleanly at another (ShardSize does not join the campaign
+	// identity because it cannot shape results). <= 0 keeps every runner
+	// live for the whole campaign.
+	ShardSize int `json:"shard_size,omitempty"`
 	// Chip is the base chip spec; Seed and Chamber are overridden per
 	// chip (soak chips are chamber-less so injected thermal excursions
 	// control the ambient directly).
@@ -112,6 +126,9 @@ func (c *SoakConfig) fillDefaults() error {
 	}
 	if c.TargetInterval <= 0 {
 		return fmt.Errorf("soak: non-positive target interval")
+	}
+	if c.ShardSize < 0 {
+		return fmt.Errorf("soak: shard size must be non-negative (got %d)", c.ShardSize)
 	}
 	if c.WindowHours <= 0 {
 		c.WindowHours = 1
@@ -240,6 +257,14 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	if cfg.Checkpoint != nil && cfg.Checkpoint.Dir != "" {
 		return soakCheckpointed(ctx, cfg, seeds)
 	}
+	// With a shard-size bound, clamping the pool is all the eviction this
+	// path needs: a chip's dense state is built inside its job and becomes
+	// garbage when the job returns, so at most min(workers, ShardSize)
+	// devices are ever live.
+	workers := cfg.Workers
+	if cfg.ShardSize > 0 {
+		workers = fleetWorkers(workers, cfg.ShardSize)
+	}
 	var (
 		results     []chipSoakResult
 		quarantined []QuarantinedShard
@@ -247,7 +272,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 	)
 	if cfg.ShardPolicy.Attempts >= 1 {
 		var failures []parallel.JobFailure
-		results, failures, err = parallel.MapPartial(ctx, cfg.Chips, cfg.Workers, cfg.ShardPolicy,
+		results, failures, err = parallel.MapPartial(ctx, cfg.Chips, workers, cfg.ShardPolicy,
 			func(ctx context.Context, i int) (chipSoakResult, error) {
 				return soakChip(ctx, cfg, i, seeds[i])
 			})
@@ -257,7 +282,7 @@ func Soak(ctx context.Context, cfg SoakConfig) (*SoakReport, error) {
 			})
 		}
 	} else {
-		results, err = parallel.Map(ctx, cfg.Chips, cfg.Workers,
+		results, err = parallel.Map(ctx, cfg.Chips, workers,
 			func(ctx context.Context, i int) (chipSoakResult, error) {
 				return soakChip(ctx, cfg, i, seeds[i])
 			})

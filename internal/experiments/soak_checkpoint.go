@@ -113,7 +113,7 @@ func soakIdentity(cfg SoakConfig, everyWindows int) (string, error) {
 // campaignMeta is the fleet-level state saved at every barrier alongside
 // the per-chip blobs.
 type campaignMeta struct {
-	segments    int   // completed segment barriers
+	segments    int // completed segment barriers
 	done        []bool
 	windowsDone []int
 	quarantined []QuarantinedShard
@@ -218,6 +218,12 @@ func soakCheckpointed(ctx context.Context, cfg SoakConfig, seeds []uint64) (*Soa
 	}
 
 	n := cfg.Chips
+	// The shard-size bound caps concurrent materializations; barrier
+	// eviction below caps what survives between segments.
+	workers := cfg.Workers
+	if cfg.ShardSize > 0 {
+		workers = fleetWorkers(workers, cfg.ShardSize)
+	}
 	runners := make([]*soakRunner, n)
 	blobs := make([][]byte, n)
 	done := make([]bool, n)
@@ -272,7 +278,7 @@ func soakCheckpointed(ctx context.Context, cfg SoakConfig, seeds []uint64) (*Soa
 			break
 		}
 
-		segDone, failures, err := parallel.MapPartial(ctx, len(active), cfg.Workers, cfg.ShardPolicy,
+		segDone, failures, err := parallel.MapPartial(ctx, len(active), workers, cfg.ShardPolicy,
 			func(ctx context.Context, k int) (bool, error) {
 				i := active[k]
 				if ck.CrashPlan != nil && ck.CrashPlan.Fire(segments, i) {
@@ -346,6 +352,18 @@ func soakCheckpointed(ctx context.Context, cfg SoakConfig, seeds []uint64) (*Soa
 		}
 		if err := store.Save(segments, identity, files); err != nil {
 			return nil, err
+		}
+		if cfg.ShardSize > 0 {
+			// Shard eviction: drop every runner's dense simulator state at the
+			// barrier. The next segment re-materializes each chip from its seed
+			// plus start-of-segment blob — the identical code path a
+			// cross-process resume takes (restoreSoakRunner), which the resume
+			// property tests prove byte-equivalent to keeping the runner live.
+			// Between segments the campaign therefore holds only blobs:
+			// O(active shard + summaries) instead of O(fleet).
+			for i := range runners {
+				runners[i] = nil
+			}
 		}
 		savedThisProcess++
 		if ck.StopAfterSegments > 0 && savedThisProcess >= ck.StopAfterSegments {

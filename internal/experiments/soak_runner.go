@@ -238,7 +238,13 @@ func (r *soakRunner) encodeState() ([]byte, error) {
 		e.Int(wa.Word)
 	}
 	r.st.EncodeState(e)
-	if err := r.st.Device().EncodeState(e); err != nil {
+	// The device travels as a delta against its seed-derived construction
+	// (dram.EncodeDelta), not as the dense population dump: a soak chip's
+	// divergence is a handful of injected cells, forced VRT schedules and
+	// stuck bits, so per-chip blobs stay small enough to write at every
+	// barrier even at million-chip scale. restoreState rebuilds the same
+	// fresh device (newSoakRunner) before replaying the delta.
+	if err := r.st.Device().EncodeDelta(e); err != nil {
 		return nil, err
 	}
 	r.shield.EncodeState(e)
@@ -284,7 +290,7 @@ func (r *soakRunner) restoreState(blob []byte) error {
 	if err := r.st.RestoreState(d); err != nil {
 		return fmt.Errorf("soak chip %d: station: %w", r.idx, err)
 	}
-	if err := r.st.Device().RestoreState(d, resolveRowData); err != nil {
+	if err := r.st.Device().RestoreDelta(d, resolveRowData); err != nil {
 		return fmt.Errorf("soak chip %d: device: %w", r.idx, err)
 	}
 	if err := r.shield.RestoreState(d); err != nil {

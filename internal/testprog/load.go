@@ -10,9 +10,12 @@ import (
 )
 
 // Bounds enforced by Validate on the fleet spec, so a malformed program
-// cannot request an absurd simulation.
+// cannot request an absurd simulation. The fleet ceiling assumes lazy
+// shard execution (stages accept shard_size): chips outside the active
+// shard cost a few words each, so million-chip programs are admissible —
+// the bound only rejects obvious typos, not large campaigns.
 const (
-	maxFleetChips = 4096
+	maxFleetChips = 1 << 20
 	minChipBits   = 1 << 20 // 1 Mbit
 	maxChipBits   = 1 << 32 // 4 Gbit
 	maxWeakScale  = 1000

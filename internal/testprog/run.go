@@ -313,6 +313,7 @@ func runCampaign(ctx context.Context, p *Program, opt RunOptions, reg *telemetry
 				WeakScale:      p.Fleet.WeakScale,
 				Seed:           p.Seed,
 				Workers:        opt.Workers,
+				ShardSize:      s.ShardSize,
 			})
 			if err != nil {
 				return fmt.Errorf("testprog: stage %d (%s): %w", i, s.StageType(), err)
@@ -341,6 +342,7 @@ func runSoakStage(ctx context.Context, p *Program, s *SoakStage, opt RunOptions,
 	cfg.TargetInterval = s.TargetIntervalS
 	cfg.Controller = s.Controller
 	cfg.Workers = opt.Workers
+	cfg.ShardSize = s.ShardSize
 	if s.WindowHours > 0 {
 		cfg.WindowHours = s.WindowHours
 	}

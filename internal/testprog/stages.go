@@ -423,6 +423,11 @@ type SoakStage struct {
 	Controller bool `json:"controller"`
 	// MaxUBER is the survival criterion (0 means 1e-4).
 	MaxUBER float64 `json:"max_uber,omitempty"`
+	// ShardSize caps how many chips hold dense simulator state at once
+	// (experiments.SoakConfig.ShardSize). 0 means no bound. Reports are
+	// byte-identical at any value, so programs may set it purely to fit
+	// large fleets in memory.
+	ShardSize int `json:"shard_size,omitempty"`
 }
 
 // StageType implements Stage.
@@ -437,6 +442,9 @@ func (s *SoakStage) validate(_ *Program, i int) error {
 	}
 	if s.WindowHours < 0 || s.CadenceHours < 0 || s.MaxUBER < 0 {
 		return fmt.Errorf("stage %d (%s): negative parameter", i, s.StageType())
+	}
+	if s.ShardSize < 0 {
+		return fmt.Errorf("stage %d (%s): shard_size must be non-negative", i, s.StageType())
 	}
 	if s.Scenario != "" {
 		if _, err := faultinject.NamedScenario(s.Scenario, 0, 1); err != nil {
@@ -464,6 +472,12 @@ type PopulationSweepStage struct {
 	DeltaTempC     float64 `json:"delta_temp_c,omitempty"`
 	// Iterations is the per-chip profiling rounds; 0 means 16.
 	Iterations int `json:"iterations,omitempty"`
+	// ShardSize caps how many chips are materialized at once
+	// (experiments.PopulationConfig.ShardSize): the sweep runs in
+	// consecutive shards of at most this many devices, so peak memory is
+	// O(shard), not O(fleet). 0 means one fleet-wide batch. Results are
+	// byte-identical at any value.
+	ShardSize int `json:"shard_size,omitempty"`
 }
 
 // StageType implements Stage.
@@ -472,6 +486,9 @@ func (s *PopulationSweepStage) StageType() string { return StagePopulationSweep 
 func (s *PopulationSweepStage) validate(_ *Program, i int) error {
 	if s.ChipsPerVendor <= 0 {
 		return fmt.Errorf("stage %d (%s): chips_per_vendor must be positive", i, s.StageType())
+	}
+	if s.ShardSize < 0 {
+		return fmt.Errorf("stage %d (%s): shard_size must be non-negative", i, s.StageType())
 	}
 	if s.TargetIntervalS <= 0 {
 		return fmt.Errorf("stage %d (%s): target_interval_s must be positive", i, s.StageType())
